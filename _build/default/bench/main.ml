@@ -1,0 +1,221 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro/macro benchmarks: one Test.make per
+   figure/table of the paper (its computational kernel at a bounded
+   size) plus the hot simulator kernels.  Part 2 — the full-size
+   regeneration harness: re-prints every figure's and table's data
+   series, exactly as `repro all` does, so one executable both times
+   the kernels and reproduces the evaluation. *)
+
+open Bechamel
+
+(* Shared fixtures, built once: a calibrated die and a test stimulus. *)
+let ctx = lazy (Experiments.Context.create ())
+
+let stimulus =
+  lazy
+    (let c = Lazy.force ctx in
+     let fs = Rfchain.Receiver.fs c.Experiments.Context.rx in
+     let f_in = Rfchain.Receiver.test_tone_frequency c.Experiments.Context.rx ~n:8192 in
+     Sigkit.Waveform.tone_dbm ~p_dbm:(-25.0) ~freq:f_in ~fs 8192)
+
+let bench_fft () =
+  let x = Lazy.force stimulus in
+  let re, im = Sigkit.Fft.of_real x in
+  Sigkit.Fft.forward re im
+
+(* FIG7/FIG9 kernel: one key evaluated through modulator + receiver. *)
+let bench_fig7_key () =
+  let c = Lazy.force ctx in
+  let bench = Metrics.Measure.create c.Experiments.Context.rx in
+  ignore (Metrics.Measure.snr_mod_db bench c.Experiments.Context.golden)
+
+let bench_fig9_key () =
+  let c = Lazy.force ctx in
+  let bench = Metrics.Measure.create c.Experiments.Context.rx in
+  ignore (Metrics.Measure.snr_rx_db ~n_fft:512 bench c.Experiments.Context.golden)
+
+(* FIG8 kernel: a transient capture. *)
+let bench_fig8_transient () =
+  let c = Lazy.force ctx in
+  ignore (Experiments.Fig8.run ~window:64 c)
+
+(* FIG10 kernel: one PSD estimate. *)
+let bench_fig10_psd () =
+  let c = Lazy.force ctx in
+  let bench = Metrics.Measure.create c.Experiments.Context.rx in
+  let record = Metrics.Measure.mod_output bench c.Experiments.Context.golden in
+  ignore (Sigkit.Spectrum.periodogram ~fs:(Rfchain.Receiver.fs c.Experiments.Context.rx) record)
+
+(* FIG11 kernel: one sweep point. *)
+let bench_fig11_point () =
+  let c = Lazy.force ctx in
+  let bench = Metrics.Measure.create c.Experiments.Context.rx in
+  ignore
+    (Metrics.Measure.snr_rx_at_power_db ~n_fft:256 bench c.Experiments.Context.golden
+       ~p_dbm:(-40.0) ~gain_code:9)
+
+(* FIG12 kernel: one two-tone SFDR measurement. *)
+let bench_fig12_sfdr () =
+  let c = Lazy.force ctx in
+  let bench = Metrics.Measure.create c.Experiments.Context.rx in
+  ignore (Metrics.Measure.sfdr_db bench c.Experiments.Context.golden)
+
+(* SEC-TABLE kernel: one brute-force trial on a re-fabbed die (this is
+   the number that anchors the hardware attack-cost row). *)
+let refab =
+  lazy
+    (let c = Lazy.force ctx in
+     let key =
+       Core.Key.make ~standard:c.Experiments.Context.standard ~chip:c.Experiments.Context.chip
+         c.Experiments.Context.golden
+     in
+     let oracle =
+       Attacks.Oracle.deploy c.Experiments.Context.standard ~chip_seed:c.Experiments.Context.seed
+         ~key
+     in
+     Attacks.Oracle.refabricate oracle ~attacker_seed:99)
+
+let trial_rng = lazy (Sigkit.Rng.create 0xBEEF)
+
+let bench_security_trial () =
+  ignore (Attacks.Oracle.try_key_fast (Lazy.force refab) (Rfchain.Config.random (Lazy.force trial_rng)))
+
+(* CMP-TABLE kernel: the full baseline corruption probe set. *)
+let bench_compare_probes () = ignore (Baselines.Compare.corruption_probes ())
+
+(* Calibration kernels. *)
+let bench_osc_tune () =
+  let c = Lazy.force ctx in
+  ignore (Calibration.Osc_tune.run c.Experiments.Context.rx)
+
+(* LOT kernel: one full die calibration (the per-die production cost). *)
+let lot_counter = ref 0
+
+let bench_lot_die () =
+  incr lot_counter;
+  let chip = Circuit.Process.fabricate ~seed:(50_000 + !lot_counter) () in
+  let rx = Rfchain.Receiver.create chip Rfchain.Standards.max_frequency in
+  ignore (Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false rx)
+
+(* ONCHIP kernel: one gate-level ALU comparison (the self-calibration
+   engine's inner operation). *)
+let onchip_alu = lazy (Calibration.Onchip.lock_alu (Sigkit.Rng.create 3) ())
+
+let bench_onchip_alu () =
+  let locked = Lazy.force onchip_alu in
+  ignore
+    (Netlist.Gate.eval locked.Netlist.Logic_lock.circuit
+       ~key:locked.Netlist.Logic_lock.correct_key
+       (Array.init 32 (fun i -> i land 1 = 0)))
+
+(* GENERALITY kernel: one AFE characterisation. *)
+let afe_fixture = lazy (Afe.Afe_chain.create (Circuit.Process.fabricate ~seed:9001 ()))
+
+let bench_afe_measure () = ignore (Afe.Afe_chain.measure (Lazy.force afe_fixture) Afe.Afe_config.nominal)
+
+let tests =
+  [
+    Test.make ~name:"kernel:fft-8192" (Staged.stage bench_fft);
+    Test.make ~name:"fig7:snr-mod-per-key" (Staged.stage bench_fig7_key);
+    Test.make ~name:"fig8:transient-capture" (Staged.stage bench_fig8_transient);
+    Test.make ~name:"fig9:snr-rx-per-key" (Staged.stage bench_fig9_key);
+    Test.make ~name:"fig10:psd-estimate" (Staged.stage bench_fig10_psd);
+    Test.make ~name:"fig11:sweep-point" (Staged.stage bench_fig11_point);
+    Test.make ~name:"fig12:two-tone-sfdr" (Staged.stage bench_fig12_sfdr);
+    Test.make ~name:"security:attack-trial" (Staged.stage bench_security_trial);
+    Test.make ~name:"compare:baseline-probes" (Staged.stage bench_compare_probes);
+    Test.make ~name:"calibration:osc-tune" (Staged.stage bench_osc_tune);
+    Test.make ~name:"lot:die-calibration" (Staged.stage bench_lot_die);
+    Test.make ~name:"onchip:alu-evaluation" (Staged.stage bench_onchip_alu);
+    Test.make ~name:"generality:afe-measure" (Staged.stage bench_afe_measure);
+  ]
+
+let run_benchmarks () =
+  print_endline "## Bechamel timings (one Test per figure/table kernel)";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let pretty_ns ns =
+    if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+    else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else Printf.sprintf "%.2f s" (ns /. 1e9)
+  in
+  let ordered = ref [] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ time_ns ] -> ordered := (name, time_ns) :: !ordered
+          | Some _ | None -> ordered := (name, nan) :: !ordered)
+        analyzed)
+    tests;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-28s %12s / run\n" name (pretty_ns ns))
+    (List.sort compare !ordered);
+  (* Anchor the attack-cost table with the measured behavioural-sim
+     trial time: even a simulator millions of times faster than the
+     paper's 20-minute transistor-level runs leaves brute force
+     hopeless. *)
+  match List.assoc_opt "security:attack-trial" !ordered with
+  | Some ns when Float.is_finite ns ->
+    let seconds = ns /. 1e9 in
+    Printf.printf
+      "\nmeasured behavioural trial: %s -> full key search at this rate: %s\n"
+      (pretty_ns ns)
+      (Attacks.Cost.seconds_to_human (seconds *. Attacks.Cost.expected_brute_force_trials))
+  | Some _ | None -> ()
+
+let run_harness () =
+  let c = Lazy.force ctx in
+  print_endline "\n## Full-size regeneration harness (paper figures and tables)\n";
+  Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run c);
+  print_newline ();
+  Experiments.Fig8.print (Experiments.Fig8.run c);
+  print_newline ();
+  Experiments.Fig10.print (Experiments.Fig10.run c);
+  print_newline ();
+  Experiments.Fig11.print c (Experiments.Fig11.run c);
+  print_newline ();
+  Experiments.Fig12.print c (Experiments.Fig12.run c);
+  print_newline ();
+  Experiments.Security_table.print (Experiments.Security_table.run c);
+  print_newline ();
+  Experiments.Compare_table.print (Experiments.Compare_table.run c);
+  print_newline ();
+  Experiments.Ablations.print c (Experiments.Ablations.run c);
+  print_newline ();
+  Experiments.Onchip_lock.print c (Experiments.Onchip_lock.run c);
+  print_newline ();
+  let aging = Experiments.Aging_study.run c in
+  Experiments.Aging_study.print aging;
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (Experiments.Aging_study.checks c aging);
+  print_newline ();
+  let avalanche = Experiments.Avalanche.run c in
+  Experiments.Avalanche.print avalanche;
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (Experiments.Avalanche.checks c avalanche);
+  print_newline ();
+  Experiments.Lot_study.print (Experiments.Lot_study.run ~lot:4 ~seed_base:6000 c.Experiments.Context.standard);
+  print_newline ();
+  Experiments.Generality.print (Experiments.Generality.run ())
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  Printf.printf "calibrating the reference die ...\n%!";
+  let c = Lazy.force ctx in
+  Printf.printf "reference calibration: SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB\n\n%!"
+    c.Experiments.Context.calibration.Calibration.Calibrate.snr_mod_db
+    c.Experiments.Context.calibration.Calibration.Calibrate.snr_rx_db
+    c.Experiments.Context.calibration.Calibration.Calibrate.sfdr_db;
+  run_benchmarks ();
+  if not quick then run_harness ()

@@ -1,0 +1,14 @@
+(* Dev probe: SAT attack on the MixLock baseline. *)
+let () =
+  let rng = Sigkit.Rng.create 5 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits:16 in
+  let t0 = Unix.gettimeofday () in
+  let r = Netlist.Sat_attack.run ~seed:11 locked in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "queries %d, candidates left %d, %.1f s\n" r.Netlist.Sat_attack.oracle_queries
+    r.Netlist.Sat_attack.candidates_left (t1 -. t0);
+  match r.Netlist.Sat_attack.found_key with
+  | Some key ->
+    Printf.printf "key recovered; corruption under it: %.4f\n"
+      (Netlist.Logic_lock.corruption locked ~key)
+  | None -> print_endline "no key recovered"

@@ -1,0 +1,183 @@
+(* repro — regenerate every figure and table of the paper's evaluation.
+
+   Subcommands map one-to-one onto the experiment index in DESIGN.md:
+   fig7 fig8 fig9 fig10 fig11 fig12 security compare ablations
+   calibrate all. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Die seed (the manufactured chip's identity)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let standard_arg =
+  let doc = "Target standard (bluetooth, zigbee, wifi-802.11b, lower-band-1.5GHz, max-3GHz)." in
+  Arg.(value & opt string "max-3GHz" & info [ "standard" ] ~docv:"NAME" ~doc)
+
+let keys_arg =
+  let doc = "Number of random invalid keys in the ensemble." in
+  Arg.(value & opt int 100 & info [ "keys" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc = "Trial budget per empirical attack." in
+  Arg.(value & opt int 400 & info [ "budget" ] ~docv:"N" ~doc)
+
+let context ~seed ~standard =
+  let standard =
+    try Rfchain.Standards.find standard
+    with Not_found ->
+      Printf.eprintf "unknown standard %s\n" standard;
+      exit 2
+  in
+  Printf.printf "calibrating die %d for %s ...\n%!" seed standard.Rfchain.Standards.name;
+  let ctx = Experiments.Context.create ~seed ~standard () in
+  Printf.printf "calibrated: SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB (%d trials)\n\n%!"
+    ctx.Experiments.Context.calibration.Calibration.Calibrate.snr_mod_db
+    ctx.Experiments.Context.calibration.Calibration.Calibrate.snr_rx_db
+    ctx.Experiments.Context.calibration.Calibration.Calibrate.sfdr_db
+    ctx.Experiments.Context.calibration.Calibration.Calibrate.snr_measurements;
+  ctx
+
+let cmd_of name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ standard_arg)
+
+let fig7_9 seed standard keys =
+  let ctx = context ~seed ~standard in
+  Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run ~n_invalid:keys ctx)
+
+let fig8 seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Fig8.print (Experiments.Fig8.run ctx)
+
+let fig10 seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Fig10.print (Experiments.Fig10.run ctx)
+
+let fig11 seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Fig11.print ctx (Experiments.Fig11.run ctx)
+
+let fig12 seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Fig12.print ctx (Experiments.Fig12.run ctx)
+
+let security seed standard budget =
+  let ctx = context ~seed ~standard in
+  Experiments.Security_table.print (Experiments.Security_table.run ~budget ctx)
+
+let compare seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Compare_table.print (Experiments.Compare_table.run ctx)
+
+let ablations seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Ablations.print ctx (Experiments.Ablations.run ctx)
+
+let calibrate seed standard =
+  let ctx = context ~seed ~standard in
+  List.iter print_endline ctx.Experiments.Context.calibration.Calibration.Calibrate.log;
+  Format.printf "%a@." Rfchain.Config.pp ctx.Experiments.Context.golden
+
+let lot seed standard =
+  let standard_t =
+    try Rfchain.Standards.find standard
+    with Not_found ->
+      Printf.eprintf "unknown standard %s\n" standard;
+      exit 2
+  in
+  Printf.printf "calibrating an 8-die lot (seed base %d) ...\n%!" seed;
+  Experiments.Lot_study.print (Experiments.Lot_study.run ~seed_base:seed standard_t)
+
+let onchip seed standard =
+  let ctx = context ~seed ~standard in
+  Experiments.Onchip_lock.print ctx (Experiments.Onchip_lock.run ctx)
+
+let aging seed standard =
+  let ctx = context ~seed ~standard in
+  let t = Experiments.Aging_study.run ctx in
+  Experiments.Aging_study.print t;
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (Experiments.Aging_study.checks ctx t)
+
+let avalanche seed standard =
+  let ctx = context ~seed ~standard in
+  let t = Experiments.Avalanche.run ctx in
+  Experiments.Avalanche.print t;
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (Experiments.Avalanche.checks ctx t)
+
+let generality _seed _standard =
+  Experiments.Generality.print (Experiments.Generality.run ())
+
+let all seed standard keys budget =
+  let ctx = context ~seed ~standard in
+  Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run ~n_invalid:keys ctx);
+  print_newline ();
+  Experiments.Fig8.print (Experiments.Fig8.run ctx);
+  print_newline ();
+  Experiments.Fig10.print (Experiments.Fig10.run ctx);
+  print_newline ();
+  Experiments.Fig11.print ctx (Experiments.Fig11.run ctx);
+  print_newline ();
+  Experiments.Fig12.print ctx (Experiments.Fig12.run ctx);
+  print_newline ();
+  Experiments.Security_table.print (Experiments.Security_table.run ~budget ctx);
+  print_newline ();
+  Experiments.Compare_table.print (Experiments.Compare_table.run ctx);
+  print_newline ();
+  Experiments.Ablations.print ctx (Experiments.Ablations.run ctx);
+  print_newline ();
+  Experiments.Onchip_lock.print ctx (Experiments.Onchip_lock.run ctx);
+  print_newline ();
+  let aging_t = Experiments.Aging_study.run ctx in
+  Experiments.Aging_study.print aging_t;
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (Experiments.Aging_study.checks ctx aging_t);
+  print_newline ();
+  Experiments.Lot_study.print (Experiments.Lot_study.run ~seed_base:6000 ctx.Experiments.Context.standard);
+  print_newline ();
+  let av = Experiments.Avalanche.run ctx in
+  Experiments.Avalanche.print av;
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (Experiments.Avalanche.checks ctx av);
+  print_newline ();
+  Experiments.Generality.print (Experiments.Generality.run ())
+
+let commands =
+  [
+    Cmd.v
+      (Cmd.info "fig7" ~doc:"SNR per key at the modulator output (also prints Fig. 9 data)")
+      Term.(const fig7_9 $ seed_arg $ standard_arg $ keys_arg);
+    Cmd.v
+      (Cmd.info "fig9" ~doc:"SNR per key at the receiver output (same run as fig7)")
+      Term.(const fig7_9 $ seed_arg $ standard_arg $ keys_arg);
+    cmd_of "fig8" "Transient modulator output, correct vs deceptive key" fig8;
+    cmd_of "fig10" "PSD at the modulator output, correct vs deceptive key" fig10;
+    cmd_of "fig11" "SNR vs input power over the VGLNA segments" fig11;
+    cmd_of "fig12" "Two-tone SFDR, correct vs deceptive key" fig12;
+    Cmd.v
+      (Cmd.info "security" ~doc:"Attack-cost table and empirical attacks (Section VI-B)")
+      Term.(const security $ seed_arg $ standard_arg $ budget_arg);
+    cmd_of "compare" "Comparison with prior locking techniques (Section II)" compare;
+    cmd_of "ablations" "Design-choice ablations (slicing, process variation)" ablations;
+    cmd_of "calibrate" "Run the 14-step calibration and print the secret key" calibrate;
+    cmd_of "lot" "Monte-Carlo production-lot study (yield, key uniqueness, transfer)" lot;
+    cmd_of "onchip" "On-chip self-calibration and calibration-loop locking [10]" onchip;
+    cmd_of "aging" "Aging drift and recycled-part detection study" aging;
+    cmd_of "avalanche" "SNR collapse vs key Hamming distance; per-bit key strength" avalanche;
+    cmd_of "generality" "Second case study: fabric locking on a 24-bit baseband AFE" generality;
+    Cmd.v
+      (Cmd.info "all" ~doc:"Every figure and table in sequence")
+      Term.(const all $ seed_arg $ standard_arg $ keys_arg $ budget_arg);
+  ]
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:"Reproduction of 'Securing Programmable Analog ICs Against Piracy' (DATE 2020)"
+  in
+  exit (Cmd.eval (Cmd.group info commands))

@@ -1,0 +1,1 @@
+examples/afe_lock.ml: Afe Circuit Printf Sigkit

@@ -1,0 +1,1 @@
+examples/counterfeit_lifecycle.ml: Calibration Circuit Core List Metrics Printf Rfchain

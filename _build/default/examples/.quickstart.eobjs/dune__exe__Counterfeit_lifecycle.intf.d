@@ -1,0 +1,1 @@
+examples/counterfeit_lifecycle.mli:

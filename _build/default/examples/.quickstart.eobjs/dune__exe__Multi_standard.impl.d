@@ -1,0 +1,1 @@
+examples/multi_standard.ml: Calibration Circuit Core List Metrics Printf Rfchain

@@ -1,0 +1,1 @@
+examples/piracy_attack.ml: Attacks Calibration Circuit Core Format List Metrics Printf Rfchain

@@ -1,0 +1,1 @@
+examples/piracy_attack.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Calibration Circuit Core Metrics Printf Rfchain

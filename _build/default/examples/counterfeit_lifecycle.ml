@@ -1,0 +1,65 @@
+(* Counterfeit lifecycle: overproduction, recycling, remarking — and the
+   remote-activation flow that controls an untrusted test floor
+   (paper Sections IV-B.4 and IV-C).
+
+   Run with:  dune exec examples/counterfeit_lifecycle.exe *)
+
+let show o =
+  Printf.printf "%-26s attacker %-9s %s\n" o.Core.Threat_model.scenario
+    (if o.Core.Threat_model.attacker_success then "SUCCEEDS" else "defeated")
+    o.Core.Threat_model.detail
+
+let () =
+  let standard = Rfchain.Standards.max_frequency in
+  let chip = Circuit.Process.fabricate ~seed:777 () in
+  let rx = Rfchain.Receiver.create chip standard in
+  let golden = Calibration.Calibrate.quick rx in
+  let key = Core.Key.make ~standard ~chip golden in
+
+  print_endline "== threat scenarios ==";
+  show (Core.Threat_model.cloning standard ~golden_key:key);
+  show (Core.Threat_model.overproduction ~fabricated:1000 ~provisioned:800);
+  let lut_recycle, puf_recycle = Core.Threat_model.recycling standard ~seed:777 ~key in
+  show lut_recycle;
+  show puf_recycle;
+  show (Core.Threat_model.remarking standard ~seed:778);
+
+  (* Remote activation: high-volume production at an untrusted test
+     facility.  The facility forwards the die's PUF identity; only the
+     design house can mint a valid activation for it. *)
+  print_endline "\n== remote activation (untrusted test floor) ==";
+  let design_house = Core.Activation.design_house_keys () in
+  let boot_rom_key = Core.Activation.public_of design_house in
+  let scheme, user_keys = Core.Key_mgmt.provision_puf chip [ key ] in
+  let chip_id =
+    match scheme with
+    | Core.Key_mgmt.Puf_xor puf -> Core.Puf.response_for_standard puf ~standard:standard.Rfchain.Standards.name
+    | Core.Key_mgmt.Tamper_proof_lut _ -> assert false
+  in
+  let user_key = List.hd user_keys in
+  let activation = Core.Activation.issue design_house ~chip_id user_key in
+  (match Core.Activation.accept boot_rom_key ~expected_chip_id:chip_id activation with
+  | Ok delivered -> (
+    match
+      Core.Key_mgmt.power_on scheme ~user_keys:[ delivered ]
+        ~standard:standard.Rfchain.Standards.name ()
+    with
+    | Ok config ->
+      let bench = Metrics.Measure.create rx in
+      Printf.printf "activation accepted; chip functional at SNR %.1f dB\n"
+        (Metrics.Measure.snr_mod_db bench config)
+    | Error e -> Printf.printf "power-on failed after activation: %s\n" e)
+  | Error e -> Printf.printf "activation rejected: %s\n" e);
+
+  (* The test floor tries to activate an overproduced die with the same
+     token: the chip id does not match, the boot ROM refuses. *)
+  let rogue_chip = Circuit.Process.fabricate ~seed:999 () in
+  let rogue_scheme, _ = Core.Key_mgmt.provision_puf rogue_chip [ key ] in
+  let rogue_id =
+    match rogue_scheme with
+    | Core.Key_mgmt.Puf_xor puf -> Core.Puf.response_for_standard puf ~standard:standard.Rfchain.Standards.name
+    | Core.Key_mgmt.Tamper_proof_lut _ -> assert false
+  in
+  match Core.Activation.accept boot_rom_key ~expected_chip_id:rogue_id activation with
+  | Ok _ -> print_endline "rogue die activated (bug!)"
+  | Error e -> Printf.printf "rogue (overproduced) die: %s -> stays inert\n" e

@@ -1,0 +1,68 @@
+(* The attacker's afternoon: netlist in hand, oracle on the bench.
+
+   Walks the paper's Section IV-B threat analysis: the netlist is fully
+   known, an unlocked oracle chip can be measured, candidate keys can
+   be programmed into a re-fabricated clone — and every black-box
+   attack still dies on the 2^64 key space and the per-trial cost.
+
+   Run with:  dune exec examples/piracy_attack.exe *)
+
+let () =
+  let standard = Rfchain.Standards.max_frequency in
+
+  (* The victim: a fielded, correctly provisioned chip. *)
+  let victim_chip = Circuit.Process.fabricate ~seed:31415 () in
+  let victim_rx = Rfchain.Receiver.create victim_chip standard in
+  let golden = Calibration.Calibrate.quick victim_rx in
+  let key = Core.Key.make ~standard ~chip:victim_chip golden in
+  let oracle = Attacks.Oracle.deploy standard ~chip_seed:31415 ~key in
+  let reference = Attacks.Oracle.reference_performance oracle in
+  Printf.printf "oracle reference: SNR(mod) %.1f dB, SNR(rx) %.1f dB -- the bar to clear\n\n"
+    reference.Metrics.Spec.snr_mod_db reference.Metrics.Spec.snr_rx_db;
+
+  (* Step 1: read the key out of the oracle?  Tamper-proof. *)
+  let lut = Core.Key_mgmt.provision_lut [ key ] in
+  (match lut with
+  | Core.Key_mgmt.Tamper_proof_lut memory -> (
+    match Core.Lut_memory.raw_readout memory with
+    | Error _ -> print_endline "step 1: raw LUT readout -> tamper response, memory zeroised"
+    | Ok _ -> print_endline "step 1: LUT readout succeeded (bug!)")
+  | Core.Key_mgmt.Puf_xor _ -> ());
+
+  (* Step 2: remove the lock?  There is no lock circuitry. *)
+  print_endline
+    "step 2: removal attack -> nothing to remove: the key bits drive the existing tuning knobs";
+
+  (* Step 3: re-fab the design to get at the programming bits, then
+     search.  Budgets here are what a funded lab could really measure:
+     400 trials at the paper's 20 min/trial is ~5.5 days of bench time. *)
+  let budget = 400 in
+  let refab seed = Attacks.Oracle.refabricate oracle ~attacker_seed:seed in
+  (* "raw probe" is the attacker's uncorroborated FFT reading; verdicts
+     use the linearity-verified measurement, which an injection-locked
+     tank cannot fool. *)
+  let report name trials best success =
+    Printf.printf "step 3: %-22s %4d trials, best raw probe %6.1f dB, %s (%s of measurements)\n" name
+      trials best
+      (if success then "UNLOCKED" else "still locked")
+      (Attacks.Cost.seconds_to_human (float_of_int trials *. Attacks.Cost.snr_trial_seconds))
+  in
+  let bf = Attacks.Brute_force.run ~budget (refab 1) in
+  report "brute force" bf.Attacks.Brute_force.trials bf.Attacks.Brute_force.best_snr_mod_db
+    bf.Attacks.Brute_force.success;
+  let sa = Attacks.Optimize.simulated_annealing ~budget (refab 2) in
+  report "simulated annealing" sa.Attacks.Optimize.evaluations sa.Attacks.Optimize.best_snr_mod_db
+    sa.Attacks.Optimize.success;
+  let ga = Attacks.Optimize.genetic ~budget (refab 3) in
+  report "genetic algorithm" ga.Attacks.Optimize.evaluations ga.Attacks.Optimize.best_snr_mod_db
+    ga.Attacks.Optimize.success;
+  let sub = Attacks.Subblock.cap_only_attack ~budget (refab 4) in
+  report "capacitor sub-key" sub.Attacks.Subblock.trials sub.Attacks.Subblock.best_snr_mod_db
+    sub.Attacks.Subblock.success;
+
+  (* Step 4: what would it take to actually win? *)
+  print_newline ();
+  print_endline "step 4: projected cost of the full search:";
+  List.iter
+    (fun row -> Format.printf "        %a@." Attacks.Cost.pp_row row)
+    (Attacks.Cost.brute_force_table ())

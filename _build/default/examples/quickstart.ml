@@ -1,0 +1,44 @@
+(* Quickstart: lock, provision and unlock one chip.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A die comes back from the (untrusted) foundry.  Its process
+     variations — and therefore its correct configuration — are unique. *)
+  let standard = Rfchain.Standards.max_frequency in
+  let chip = Circuit.Process.fabricate ~seed:2024 () in
+  let receiver = Rfchain.Receiver.create chip standard in
+
+  (* 2. Out of the box the chip is locked: without the configuration
+     word it does not meet any specification. *)
+  let bench = Metrics.Measure.create receiver in
+  let locked_snr = Metrics.Measure.snr_mod_db bench Rfchain.Config.nominal in
+  Printf.printf "fresh die, nominal word : SNR = %6.1f dB  (spec: %.0f dB) -> locked\n"
+    locked_snr standard.Rfchain.Standards.min_snr_db;
+
+  (* 3. The design house runs the secret 14-step calibration in its
+     secure environment.  The returned configuration setting IS the
+     secret key. *)
+  let report = Calibration.Calibrate.run receiver in
+  let key = Core.Key.make ~standard ~chip report.Calibration.Calibrate.key in
+  Printf.printf "after calibration       : SNR = %6.1f dB, SFDR = %.1f dB -> unlocked\n"
+    report.Calibration.Calibrate.snr_mod_db report.Calibration.Calibrate.sfdr_db;
+
+  (* 4. Provision the key through the PUF scheme (Fig. 3b): the chip
+     stores nothing; the customer holds a user key that only works on
+     this die. *)
+  let scheme, user_keys = Core.Key_mgmt.provision_puf chip [ key ] in
+
+  (* 5. Every power-on, the chip recovers its programming bits from
+     PUF response XOR user key. *)
+  (match Core.Key_mgmt.power_on scheme ~user_keys ~standard:standard.Rfchain.Standards.name () with
+  | Ok config ->
+    let snr = Metrics.Measure.snr_mod_db bench config in
+    Printf.printf "power-on with user key  : SNR = %6.1f dB -> functional\n" snr
+  | Error e -> Printf.printf "power-on failed: %s\n" e);
+
+  (* 6. Without the user key (stolen, recycled or overproduced part)
+     the chip stays inert. *)
+  match Core.Key_mgmt.power_on scheme ~standard:standard.Rfchain.Standards.name () with
+  | Ok _ -> print_endline "power-on without key    : unexpectedly unlocked (bug!)"
+  | Error e -> Printf.printf "power-on without key    : %s -> stays locked\n" e

@@ -1,0 +1,1 @@
+lib/afe/afe_calibrate.ml: Afe_chain Afe_config Array Float List Sigkit

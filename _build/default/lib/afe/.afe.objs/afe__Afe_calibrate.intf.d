@@ -1,0 +1,1 @@
+lib/afe/afe_calibrate.mli: Afe_chain Afe_config

@@ -1,0 +1,1 @@
+lib/afe/afe_chain.ml: Afe_config Array Circuit Float Printf Sigkit

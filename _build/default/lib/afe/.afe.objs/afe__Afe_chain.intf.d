@@ -1,0 +1,1 @@
+lib/afe/afe_chain.mli: Afe_config Circuit

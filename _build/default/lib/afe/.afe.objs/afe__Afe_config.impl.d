@@ -1,0 +1,1 @@
+lib/afe/afe_config.ml: List Printf Sigkit

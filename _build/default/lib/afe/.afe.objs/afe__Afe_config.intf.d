@@ -1,0 +1,1 @@
+lib/afe/afe_config.mli: Sigkit

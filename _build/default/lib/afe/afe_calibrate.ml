@@ -1,0 +1,113 @@
+type report = {
+  key : Afe_config.t;
+  measurement : Afe_chain.measurement;
+  in_spec : bool;
+  bench_runs : int;
+}
+
+let run ?(spec = Afe_chain.default_spec) afe =
+  let runs = ref 0 in
+  let probe_gain config =
+    incr runs;
+    (Afe_chain.measure afe config).Afe_chain.gain_db
+  in
+  ignore probe_gain;
+  (* Step 1: PGA code nearest the gain target, by measurement of a
+     cheap single tone per candidate around the table code. *)
+  let table_code =
+    max 0 (min 15 (int_of_float (Float.round (spec.Afe_chain.gain_target_db /. 2.0))))
+  in
+  let gain_at code =
+    incr runs;
+    Afe_chain.pga_gain_db afe { Afe_config.nominal with pga_gain = code }
+  in
+  let pga_gain =
+    List.fold_left
+      (fun best code ->
+        if
+          code >= 0 && code <= 15
+          && Float.abs (gain_at code -. spec.Afe_chain.gain_target_db)
+             < Float.abs (gain_at best -. spec.Afe_chain.gain_target_db)
+        then code
+        else best)
+      table_code
+      [ table_code - 1; table_code; table_code + 1 ]
+  in
+  let base = { Afe_config.nominal with pga_gain } in
+  (* Step 2: cutoff tuning.  More capacitance, lower cutoff: binary
+     search the coarse bank on the realised cutoff, then the fine. *)
+  let cutoff_with config =
+    incr runs;
+    Afe_chain.cutoff_hz afe config
+  in
+  let search field max_code current =
+    let with_code code = Afe_config.of_bits (Afe_config.to_bits current) |> fun c ->
+      match field with
+      | `Coarse -> { c with Afe_config.cutoff_coarse = code }
+      | `Fine -> { c with Afe_config.cutoff_fine = code }
+    in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cutoff_with (with_code mid) > Afe_chain.target_cutoff_hz then go (mid + 1) hi
+        else go lo mid
+    in
+    let candidate = go 0 max_code in
+    let better a b =
+      Float.abs (cutoff_with (with_code a) -. Afe_chain.target_cutoff_hz)
+      < Float.abs (cutoff_with (with_code b) -. Afe_chain.target_cutoff_hz)
+    in
+    let best = if candidate > 0 && better (candidate - 1) candidate then candidate - 1 else candidate in
+    with_code best
+  in
+  let tuned_coarse = search `Coarse 63 base in
+  let tuned = search `Fine 31 tuned_coarse in
+  (* Step 3: offset null — one measurement gives the residual, the trim
+     DAC step is design knowledge (0.7 mV/LSB). *)
+  let with_offset =
+    incr runs;
+    let quiet = Afe_chain.run afe tuned (Array.make 2048 0.0) in
+    let offset = Sigkit.Waveform.mean (Array.sub quiet 1024 1024) in
+    let code = tuned.Afe_config.offset_trim + int_of_float (Float.round (offset /. 0.7e-3)) in
+    { tuned with Afe_config.offset_trim = max 0 (min 31 code) }
+  in
+  (* Step 4: Q trim by minimising the cutoff error (peaking moves the
+     measured -3 dB point), scanning the 16 codes coarsely. *)
+  let q_candidates = [ 2; 4; 6; 8; 10; 12 ] in
+  let best_q =
+    List.fold_left
+      (fun (best_code, best_err) code ->
+        let config = { with_offset with Afe_config.q_trim = code } in
+        incr runs;
+        let m = Afe_chain.measure afe config in
+        let err =
+          m.Afe_chain.cutoff_error_hz
+          +. (50e3 *. Float.abs (m.Afe_chain.gain_db -. spec.Afe_chain.gain_target_db))
+        in
+        if err < best_err then (code, err) else (best_code, best_err))
+      (with_offset.Afe_config.q_trim, infinity)
+      q_candidates
+  in
+  let with_q = { with_offset with Afe_config.q_trim = fst best_q } in
+  (* Step 5: final fine-capacitor touch-up against the *measured* -3 dB
+     point (Q peaking shifts it away from the design-equation value the
+     coarse search used). *)
+  let key =
+    List.fold_left
+      (fun (best, best_err) delta ->
+        let code = with_q.Afe_config.cutoff_fine + delta in
+        if code < 0 || code > 31 then (best, best_err)
+        else begin
+          let candidate = { with_q with Afe_config.cutoff_fine = code } in
+          incr runs;
+          let err = (Afe_chain.measure afe candidate).Afe_chain.cutoff_error_hz in
+          if err < best_err then (candidate, err) else (best, best_err)
+        end)
+      (with_q, (Afe_chain.measure afe with_q).Afe_chain.cutoff_error_hz)
+      [ -15; -12; -9; -6; -3; 3; 6; 9; 12; 15 ]
+    |> fst
+  in
+  incr runs;
+  let measurement = Afe_chain.measure afe key in
+  { key; measurement; in_spec = Afe_chain.in_spec spec measurement; bench_runs = !runs }

@@ -1,0 +1,21 @@
+(** Calibration of the analog front end — the small-scale secret
+    algorithm producing this case study's 24-bit keys.
+
+    Steps: (1) select the PGA code for the target gain and trim by
+    measurement; (2) tune the capacitor bank until the measured -3 dB
+    point hits the target cutoff (coarse binary search, then fine);
+    (3) null the output offset with the trim DAC; (4) pick the Q trim
+    by flatness.  Gain, offset and Q decisions use bench measurements
+    through the public {!Afe_chain.run} path; the capacitor search uses
+    the frequency-response analyser's cutoff readout
+    ({!Afe_chain.cutoff_hz}), the AFE-scale analogue of the RF
+    oscillation-mode measurement. *)
+
+type report = {
+  key : Afe_config.t;
+  measurement : Afe_chain.measurement;
+  in_spec : bool;
+  bench_runs : int;
+}
+
+val run : ?spec:Afe_chain.spec -> Afe_chain.t -> report

@@ -1,0 +1,55 @@
+(** The programmable baseband analog front end: PGA + 2nd-order Gm-C
+    low-pass filter with an output offset trim.
+
+    A sensor/baseband conditioning chain sampled at 10 MS/s.  Design
+    targets: 1 MHz cutoff Butterworth-ish response, selectable gain
+    0-30 dB in 2 dB steps, output offset below 2 mV.  Every target
+    needs its per-die configuration — the 24-bit word of
+    {!Afe_config} — because the Gm cells, capacitor bank and offsets
+    all carry process variation. *)
+
+val fs : float
+(** 10 MS/s. *)
+
+val target_cutoff_hz : float
+(** 1 MHz design cutoff. *)
+
+type t
+
+val create : Circuit.Process.chip -> t
+
+val cutoff_hz : t -> Afe_config.t -> float
+(** Realised filter cutoff under a word (model ground truth; the
+    calibration measures it through {!run} instead). *)
+
+val pga_gain_db : t -> Afe_config.t -> float
+(** Realised PGA gain. *)
+
+val run : t -> Afe_config.t -> float array -> float array
+(** Process a record through PGA, filter and offset trim (adds the
+    chain's thermal noise). *)
+
+type measurement = {
+  gain_db : float;            (** passband gain at fs/100 *)
+  cutoff_error_hz : float;    (** |realised -3 dB point - target| *)
+  offset_v : float;           (** residual DC offset *)
+  thd_db : float;             (** third-harmonic distortion at -6 dBFS *)
+}
+
+val measure : t -> Afe_config.t -> measurement
+(** Bench characterisation: tone sweeps, DC measurement and a
+    distortion test, all through {!run}. *)
+
+type spec = {
+  max_cutoff_error_hz : float;
+  gain_target_db : float;
+  max_gain_error_db : float;
+  max_offset_v : float;
+  min_thd_db : float;         (** required |THD| (dB below carrier) *)
+}
+
+val default_spec : spec
+(** 20 dB gain +-1 dB, cutoff within 50 kHz, offset under 2 mV, THD
+    better than 40 dB. *)
+
+val in_spec : spec -> measurement -> bool

@@ -1,0 +1,50 @@
+type t = {
+  cutoff_coarse : int;
+  cutoff_fine : int;
+  q_trim : int;
+  pga_gain : int;
+  offset_trim : int;
+}
+
+let key_bits = 24
+
+let fields : (string * int * int * (t -> int) * (t -> int -> t)) list =
+  [
+    ("cutoff_coarse", 0, 6, (fun c -> c.cutoff_coarse), fun c v -> { c with cutoff_coarse = v });
+    ("cutoff_fine", 6, 5, (fun c -> c.cutoff_fine), fun c v -> { c with cutoff_fine = v });
+    ("q_trim", 11, 4, (fun c -> c.q_trim), fun c v -> { c with q_trim = v });
+    ("pga_gain", 15, 4, (fun c -> c.pga_gain), fun c v -> { c with pga_gain = v });
+    ("offset_trim", 19, 5, (fun c -> c.offset_trim), fun c v -> { c with offset_trim = v });
+  ]
+
+let nominal = { cutoff_coarse = 32; cutoff_fine = 16; q_trim = 8; pga_gain = 8; offset_trim = 16 }
+
+let to_bits c =
+  List.fold_left
+    (fun acc (_, offset, width, get, _) -> acc lor ((get c land ((1 lsl width) - 1)) lsl offset))
+    0 fields
+
+let of_bits bits =
+  List.fold_left
+    (fun c (_, offset, width, _, set) -> set c ((bits lsr offset) land ((1 lsl width) - 1)))
+    nominal fields
+
+let random rng = of_bits (Sigkit.Rng.int_range rng 0 ((1 lsl key_bits) - 1))
+
+let equal a b = to_bits a = to_bits b
+
+let hamming_distance a b =
+  let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (acc + 1) in
+  pop (to_bits a lxor to_bits b) 0
+
+let validate c =
+  let bad =
+    List.find_opt
+      (fun (_, _, width, get, _) ->
+        let v = get c in
+        v < 0 || v >= 1 lsl width)
+      fields
+  in
+  match bad with
+  | None -> Ok c
+  | Some (name, _, _, _, _) -> Error (Printf.sprintf "field %s out of range" name)

@@ -1,0 +1,36 @@
+(** Configuration word of the second case study: a programmable
+    baseband analog front end (PGA + Gm-C low-pass filter).
+
+    The paper argues fabric locking applies to the whole class of
+    highly-programmable analog ICs, with programmability "from a few
+    bits for calibrating single blocks to tens of bits for calibrating
+    complete systems" (Section III).  This AFE sits at the small end:
+    a 24-bit word.
+
+    Layout (LSB first):
+    {v
+      0- 5  cutoff_coarse  filter capacitor bank, coarse
+      6-10  cutoff_fine    filter capacitor bank, fine
+     11-14  q_trim         biquad Q trim
+     15-18  pga_gain       PGA gain select (16 steps)
+     19-23  offset_trim    output offset trim DAC
+    v} *)
+
+type t = {
+  cutoff_coarse : int;
+  cutoff_fine : int;
+  q_trim : int;
+  pga_gain : int;
+  offset_trim : int;
+}
+
+val key_bits : int
+(** 24. *)
+
+val nominal : t
+val to_bits : t -> int
+val of_bits : int -> t
+val random : Sigkit.Rng.t -> t
+val equal : t -> t -> bool
+val hamming_distance : t -> t -> int
+val validate : t -> (t, string) result

@@ -1,0 +1,1 @@
+lib/attacks/brute_force.ml: Cost Metrics Oracle Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/attacks/cost.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/attacks/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/attacks/optimize.ml: Array Calibration Float Int64 List Oracle Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/attacks/optimize.mli: Oracle Rfchain

@@ -1,0 +1,1 @@
+lib/attacks/oracle.ml: Circuit Core Metrics Rfchain

@@ -1,0 +1,1 @@
+lib/attacks/subblock.ml: Calibration Circuit List Metrics Oracle Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/attacks/subblock.mli: Oracle Rfchain

@@ -1,0 +1,52 @@
+type result = {
+  trials : int;
+  success : bool;
+  best_config : Rfchain.Config.t;
+  best_snr_mod_db : float;
+  best_spec_distance : float;
+  projected_seconds_sim : float;
+  projected_seconds_hw : float;
+}
+
+let run ?(seed = 0xBF) ~budget refab =
+  let rng = Sigkit.Rng.create seed in
+  let best_config = ref Rfchain.Config.nominal in
+  let best_snr = ref neg_infinity in
+  let best_distance = ref infinity in
+  let success = ref false in
+  let trial = ref 0 in
+  while (not !success) && !trial < budget do
+    incr trial;
+    let candidate = Rfchain.Config.random rng in
+    let snr = Oracle.try_key_fast refab candidate in
+    if snr > !best_snr then begin
+      best_snr := snr;
+      best_config := candidate
+    end;
+    (* Full (expensive) measurement only for keys that look alive. *)
+    let looks_alive = snr >= 30.0 in
+    if looks_alive then begin
+      let m = Oracle.try_key refab candidate in
+      let d = Oracle.spec_distance refab m in
+      if d < !best_distance then best_distance := d;
+      if d = 0.0 then begin
+        success := true;
+        best_config := candidate
+      end
+    end
+    else begin
+      let d = Oracle.spec_distance refab
+          { Metrics.Spec.snr_mod_db = snr; snr_rx_db = snr; sfdr_db = None }
+      in
+      if d < !best_distance then best_distance := d
+    end
+  done;
+  {
+    trials = !trial;
+    success = !success;
+    best_config = !best_config;
+    best_snr_mod_db = !best_snr;
+    best_spec_distance = !best_distance;
+    projected_seconds_sim = float_of_int !trial *. Cost.snr_trial_seconds;
+    projected_seconds_hw = float_of_int !trial *. Cost.hardware_trial_seconds;
+  }

@@ -1,0 +1,174 @@
+type trace_point = {
+  evaluation : int;
+  best_snr_mod_db : float;
+}
+
+type result = {
+  attack : string;
+  evaluations : int;
+  success : bool;
+  best_config : Rfchain.Config.t;
+  best_snr_mod_db : float;
+  trace : trace_point list;
+}
+
+(* Shared bookkeeping: evaluate through the fast probe, keep the best,
+   record the improvement trajectory, stop early on full-spec success. *)
+type session = {
+  refab : Oracle.refab;
+  min_snr : float;
+  mutable best : Rfchain.Config.t;
+  mutable best_snr : float;
+  mutable evals : int;
+  mutable trace : trace_point list;
+  mutable success : bool;
+  budget : int;
+}
+
+let session refab ~budget =
+  let standard_min_snr = 35.0 in
+  {
+    refab;
+    min_snr = standard_min_snr;
+    best = Rfchain.Config.nominal;
+    best_snr = neg_infinity;
+    evals = 0;
+    trace = [];
+    success = false;
+    budget;
+  }
+
+let evaluate s config =
+  if s.evals >= s.budget || s.success then None
+  else begin
+    s.evals <- s.evals + 1;
+    let snr = Oracle.try_key_fast s.refab config in
+    if snr > s.best_snr then begin
+      s.best_snr <- snr;
+      s.best <- config;
+      s.trace <- { evaluation = s.evals; best_snr_mod_db = snr } :: s.trace
+    end;
+    (* A candidate clearing the SNR bar gets the full check. *)
+    if snr >= s.min_snr then begin
+      let m = Oracle.try_key s.refab config in
+      if Oracle.spec_distance s.refab m = 0.0 then begin
+        s.success <- true;
+        s.best <- config
+      end
+    end;
+    Some snr
+  end
+
+let finish s ~attack =
+  {
+    attack;
+    evaluations = s.evals;
+    success = s.success;
+    best_config = s.best;
+    best_snr_mod_db = s.best_snr;
+    trace = List.rev s.trace;
+  }
+
+let flip_bits rng config n =
+  let bits = ref (Rfchain.Config.to_bits config) in
+  for _ = 1 to n do
+    let pos = Sigkit.Rng.int_range rng 0 63 in
+    bits := Int64.logxor !bits (Int64.shift_left 1L pos)
+  done;
+  Rfchain.Config.of_bits !bits
+
+let simulated_annealing ?(seed = 0x5A) ?(initial_temp = 15.0) ?(cooling = 0.995) ~budget refab =
+  let rng = Sigkit.Rng.create seed in
+  let s = session refab ~budget in
+  let current = ref (Rfchain.Config.random rng) in
+  let current_energy =
+    ref
+      (match evaluate s !current with
+      | Some snr -> -.snr
+      | None -> infinity)
+  in
+  let temp = ref initial_temp in
+  let continue = ref true in
+  while !continue && not s.success do
+    let n_flips = 1 + Sigkit.Rng.int_range rng 0 2 in
+    let candidate = flip_bits rng !current n_flips in
+    (match evaluate s candidate with
+    | None -> continue := false
+    | Some snr ->
+      let energy = -.snr in
+      let accept =
+        energy < !current_energy
+        || Sigkit.Rng.float rng < exp ((!current_energy -. energy) /. Float.max 1e-6 !temp)
+      in
+      if accept then begin
+        current := candidate;
+        current_energy := energy
+      end);
+    temp := !temp *. cooling
+  done;
+  finish s ~attack:"simulated annealing"
+
+let genetic ?(seed = 0x6E) ?(population = 16) ?(mutation_bits = 2) ~budget refab =
+  let rng = Sigkit.Rng.create seed in
+  let s = session refab ~budget in
+  let score config =
+    match evaluate s config with
+    | Some snr -> snr
+    | None -> neg_infinity
+  in
+  let pop =
+    Array.init population (fun _ ->
+        let c = Rfchain.Config.random rng in
+        (c, score c))
+  in
+  let tournament () =
+    let a = Sigkit.Rng.int_range rng 0 (population - 1) in
+    let b = Sigkit.Rng.int_range rng 0 (population - 1) in
+    if snd pop.(a) >= snd pop.(b) then fst pop.(a) else fst pop.(b)
+  in
+  let crossover a b =
+    let mask = Sigkit.Rng.bits64 rng in
+    let bits =
+      Int64.logor
+        (Int64.logand (Rfchain.Config.to_bits a) mask)
+        (Int64.logand (Rfchain.Config.to_bits b) (Int64.lognot mask))
+    in
+    Rfchain.Config.of_bits bits
+  in
+  let continue = ref true in
+  while !continue && not s.success do
+    if s.evals >= s.budget then continue := false
+    else begin
+      let child = flip_bits rng (crossover (tournament ()) (tournament ())) mutation_bits in
+      let fitness = score child in
+      if Float.is_finite fitness then begin
+        (* Replace the current worst individual. *)
+        let worst = ref 0 in
+        for i = 1 to population - 1 do
+          if snd pop.(i) < snd pop.(!worst) then worst := i
+        done;
+        if fitness > snd pop.(!worst) then pop.(!worst) <- (child, fitness)
+      end
+      else continue := false
+    end
+  done;
+  finish s ~attack:"genetic algorithm"
+
+let hill_climb_from ?seed:_ ~start ~budget refab =
+  let s = session refab ~budget in
+  let objective config =
+    match evaluate s config with
+    | Some snr -> snr
+    | None -> neg_infinity
+  in
+  let outcome =
+    Calibration.Coordinate_search.maximize ~objective ~fields:Rfchain.Config.field_names
+      ~start ~passes:3 ()
+  in
+  (* The coordinate search tracks its own best; fold it into the session
+     in case the final candidate was seen before the budget ran out. *)
+  if outcome.Calibration.Coordinate_search.best_score > s.best_snr then begin
+    s.best <- outcome.Calibration.Coordinate_search.best;
+    s.best_snr <- outcome.Calibration.Coordinate_search.best_score
+  end;
+  finish s ~attack:"seeded hill climb"

@@ -1,0 +1,53 @@
+(** Multi-objective optimisation attacks (paper Section IV-B.3).
+
+    Instead of blind sampling, the attacker runs an iterative search
+    that tries to drive all performances into specification
+    simultaneously.  Two standard engines are provided: simulated
+    annealing over the 64-bit word (bit-flip moves) and a genetic
+    algorithm (uniform crossover + mutation).  The paper's argument —
+    only small subsets of bits relate smoothly to any performance, and
+    only once the rest are already right — shows up as stagnating
+    trajectories. *)
+
+type trace_point = {
+  evaluation : int;
+  best_snr_mod_db : float;
+}
+
+type result = {
+  attack : string;
+  evaluations : int;
+  success : bool;                  (** full spec reached *)
+  best_config : Rfchain.Config.t;
+  best_snr_mod_db : float;
+  trace : trace_point list;        (** improvement trajectory, oldest first *)
+}
+
+val simulated_annealing :
+  ?seed:int ->
+  ?initial_temp:float ->
+  ?cooling:float ->
+  budget:int ->
+  Oracle.refab ->
+  result
+(** SA with energy = spec shortfall of the fast SNR probe; temperature
+    schedule [t <- cooling * t] per move. *)
+
+val genetic :
+  ?seed:int ->
+  ?population:int ->
+  ?mutation_bits:int ->
+  budget:int ->
+  Oracle.refab ->
+  result
+(** Tournament-selection GA over 64-bit words. *)
+
+val hill_climb_from :
+  ?seed:int ->
+  start:Rfchain.Config.t ->
+  budget:int ->
+  Oracle.refab ->
+  result
+(** Coordinate search from a given word — models the paper's scenario
+    where a key recovered from one chip seeds a gradient search to
+    "quickly calibrate any chip". *)

@@ -1,0 +1,44 @@
+type t = {
+  standard : Rfchain.Standards.t;
+  rx : Rfchain.Receiver.t;
+  key : Core.Key.t;  (* hidden inside the tamper-proof store *)
+}
+
+let deploy standard ~chip_seed ~key =
+  let chip = Circuit.Process.fabricate ~seed:chip_seed () in
+  { standard; rx = Rfchain.Receiver.create chip standard; key }
+
+let reference_performance t =
+  let bench = Metrics.Measure.create t.rx in
+  Metrics.Measure.full bench (Core.Key.config t.key)
+
+let standard t = t.standard
+
+type refab = {
+  refab_standard : Rfchain.Standards.t;
+  bench : Metrics.Measure.t;
+}
+
+let refabricate t ~attacker_seed =
+  let chip = Circuit.Process.fabricate ~seed:attacker_seed () in
+  {
+    refab_standard = t.standard;
+    bench = Metrics.Measure.create (Rfchain.Receiver.create chip t.standard);
+  }
+
+(* The full check measures every specified performance (the attacker
+   must satisfy all of them simultaneously — the paper's multi-objective
+   difficulty), and uses the linearity-verified SNR so an
+   injection-locked tank regenerating the test tone cannot fool it. *)
+let try_key r config =
+  {
+    Metrics.Spec.snr_mod_db = Metrics.Measure.snr_mod_verified_db r.bench config;
+    snr_rx_db = Metrics.Measure.snr_rx_db r.bench config;
+    sfdr_db = Some (Metrics.Measure.sfdr_db r.bench config);
+  }
+
+let try_key_fast r config = Metrics.Measure.snr_mod_db r.bench config
+
+let trials_spent r = Metrics.Measure.trial_count r.bench
+
+let spec_distance r m = Metrics.Spec.spec_distance r.refab_standard m

@@ -1,0 +1,37 @@
+(** Divide-and-conquer (sub-block) attack analysis (paper §IV-B.3, §VI-B.1).
+
+    Can the 64-bit key be broken into per-sub-block sub-keys and each
+    attacked separately?  The paper argues no: the feedback loop ties
+    the sub-blocks together, calibrating one requires the others to be
+    conditioned correctly, and tapping internal nodes of a multi-GHz
+    loop needs a re-fab that degrades the very performance being
+    measured.  This module quantifies both sides:
+
+    - {!cap_only_attack}: tune only the capacitor sub-key with the rest
+      of the word random — the conditioning failure.
+    - {!tapped_attack}: the ablation where the attacker is granted an
+      internal tank tap (oscillation-mode access, as if the re-fab
+      worked and the tap were noiseless), recovers the capacitor and
+      Q-enhancement sub-keys, and still faces the bias sub-space. *)
+
+type result = {
+  attack : string;
+  recovered_fields : string list;
+  trials : int;
+  best_snr_mod_db : float;
+  success : bool;
+}
+
+val cap_only_attack : ?seed:int -> budget:int -> Oracle.refab -> result
+
+val tapped_attack :
+  ?seed:int ->
+  budget:int ->
+  Rfchain.Standards.t ->
+  attacker_seed:int ->
+  result
+(** Grants the tap on the attacker's own re-fab die (they can observe
+    their own silicon), then hill-climbs the remaining fields. *)
+
+val remaining_key_space_bits : recovered:string list -> int
+(** Width of the key space left after recovering the named fields. *)

@@ -1,0 +1,1 @@
+lib/baselines/bias_obfuscation.ml: Array Float List Sigkit Technique

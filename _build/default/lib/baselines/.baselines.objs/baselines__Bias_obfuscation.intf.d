@@ -1,0 +1,1 @@
+lib/baselines/bias_obfuscation.mli: Sigkit Technique

@@ -1,0 +1,1 @@
+lib/baselines/calib_lock.ml: Array Float Int64 Netlist Printf Rfchain Sigkit Technique

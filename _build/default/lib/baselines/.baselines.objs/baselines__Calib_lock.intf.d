@@ -1,0 +1,1 @@
+lib/baselines/calib_lock.mli: Rfchain Sigkit Technique

@@ -1,0 +1,1 @@
+lib/baselines/compare.ml: Array Bias_obfuscation Calib_lock Float Format List Memristor_lock Mirror_lock Mixlock Neural_bias Sigkit Technique

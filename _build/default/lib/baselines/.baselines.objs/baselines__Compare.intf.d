@@ -1,0 +1,1 @@
+lib/baselines/compare.mli: Format Technique

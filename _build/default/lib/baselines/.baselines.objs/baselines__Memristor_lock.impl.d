@@ -1,0 +1,1 @@
+lib/baselines/memristor_lock.ml: Array Float Fun Sigkit Technique

@@ -1,0 +1,1 @@
+lib/baselines/memristor_lock.mli: Sigkit Technique

@@ -1,0 +1,1 @@
+lib/baselines/mirror_lock.ml: Array Float Fun Sigkit Technique

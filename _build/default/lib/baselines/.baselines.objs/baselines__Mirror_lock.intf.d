@@ -1,0 +1,1 @@
+lib/baselines/mirror_lock.mli: Sigkit Technique

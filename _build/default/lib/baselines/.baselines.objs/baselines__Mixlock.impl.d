@@ -1,0 +1,1 @@
+lib/baselines/mixlock.ml: Array Float Netlist Technique

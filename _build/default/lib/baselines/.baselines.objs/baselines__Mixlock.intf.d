@@ -1,0 +1,1 @@
+lib/baselines/mixlock.mli: Netlist Sigkit Technique

@@ -1,0 +1,1 @@
+lib/baselines/neural_bias.ml: Array List Sigkit Technique

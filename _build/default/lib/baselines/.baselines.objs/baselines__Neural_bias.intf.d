@@ -1,0 +1,1 @@
+lib/baselines/neural_bias.mli: Sigkit Technique

@@ -1,0 +1,69 @@
+type t = {
+  widths : float array;
+  correct : bool array;
+  target : float;
+}
+
+let create rng ~key_bits =
+  if key_bits < 2 || key_bits > 20 then invalid_arg "Bias_obfuscation.create: key bits";
+  (* Near-binary-weighted branch widths with +-10% scatter, as in [7]. *)
+  let widths =
+    Array.init key_bits (fun i ->
+        float_of_int (1 lsl min i 6) *. Sigkit.Rng.uniform rng 0.9 1.1)
+  in
+  let correct = Array.init key_bits (fun _ -> Sigkit.Rng.bool rng) in
+  let target =
+    Array.to_list widths
+    |> List.filteri (fun i _ -> correct.(i))
+    |> List.fold_left ( +. ) 0.0
+  in
+  (* Degenerate all-false draw: force one branch on. *)
+  if target = 0.0 then begin
+    correct.(0) <- true;
+    { widths; correct; target = widths.(0) }
+  end
+  else { widths; correct; target }
+
+let correct_key t = Array.copy t.correct
+
+let width_of t key =
+  let acc = ref 0.0 in
+  Array.iteri (fun i w -> if key.(i) then acc := !acc +. w) t.widths;
+  !acc
+
+let width_error t ~key =
+  if Array.length key <> Array.length t.correct then invalid_arg "Bias_obfuscation: key arity";
+  Float.abs (width_of t key -. t.target) /. t.target
+
+let performance_penalty_db t ~key =
+  let err = width_error t ~key in
+  Float.min 60.0 (40.0 *. err)
+
+let keys_within_tolerance t ~tolerance =
+  let k = Array.length t.correct in
+  let count = ref 0 in
+  for code = 0 to (1 lsl k) - 1 do
+    let key = Array.init k (fun i -> code land (1 lsl i) <> 0) in
+    if width_error t ~key <= tolerance then incr count
+  done;
+  !count
+
+let removal _t =
+  Technique.Removable
+    "bias transistors are few and identifiable: replace the key-gated array with one correctly sized device"
+
+let descriptor =
+  {
+    Technique.name = "bias transistor obfuscation";
+    reference = "[7]";
+    key_bits = 10;
+    lock_site = Technique.Biasing;
+    per_chip_key = false;
+    design_intrusive = true;
+    added_circuitry = true;
+    area_overhead_pct = 4.0;
+    power_overhead_pct = 1.0;
+    removal =
+      Technique.Removable
+        "bias transistors are few and identifiable: replace the key-gated array with one correctly sized device";
+  }

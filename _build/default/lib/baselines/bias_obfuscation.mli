@@ -1,0 +1,33 @@
+(** Parameter-biasing obfuscation, Rao & Savidis [7] (paper Fig. 1b).
+
+    Transistors in the bias generator are replaced by key-gated
+    parallel devices; the key must select a subset whose aggregate
+    width equals the original device's width.  The bias current — and
+    with it every performance hanging off the bias — scales with the
+    realised width.  The model exposes the width error and a first-
+    order performance-degradation figure for any key. *)
+
+type t
+
+val create : Sigkit.Rng.t -> key_bits:int -> t
+(** Random binary-ish width split with a hidden correct subset. *)
+
+val correct_key : t -> bool array
+
+val width_error : t -> key:bool array -> float
+(** |W(key) - W_target| / W_target. *)
+
+val performance_penalty_db : t -> key:bool array -> float
+(** First-order SNR-equivalent penalty: bias error converts to gain and
+    headroom loss, ~40 dB per 100% width error, saturating. *)
+
+val keys_within_tolerance : t -> tolerance:float -> int
+(** How many of the 2^k keys land within a width tolerance — the
+    scheme's effective key multiplicity (small key spaces make this
+    enumerable, one of its weaknesses). *)
+
+val removal : t -> Technique.removal_verdict
+(** Replace the obfuscated bias block with a fresh correctly-sized
+    transistor: the biases are few and visible in the netlist. *)
+
+val descriptor : Technique.t

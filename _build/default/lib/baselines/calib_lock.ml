@@ -1,0 +1,47 @@
+type t = {
+  locked : Netlist.Logic_lock.locked;
+  scramble : Sigkit.Rng.t;
+}
+
+let create ?(key_bits = 16) rng =
+  let original = Netlist.Bench_circuits.ripple_adder 12 in
+  {
+    locked = Netlist.Logic_lock.lock rng original ~key_bits;
+    scramble = Sigkit.Rng.split rng "calib-lock-scramble";
+  }
+
+let correct_key t = Array.copy t.locked.Netlist.Logic_lock.correct_key
+
+let error_rate t ~key = Netlist.Logic_lock.corruption t.locked ~key
+
+let tuning_error_bits t ~key =
+  int_of_float (Float.round (error_rate t ~key *. 64.0))
+
+let corrupted_calibration t ~key ~true_key =
+  let n_bad = tuning_error_bits t ~key in
+  if n_bad = 0 then true_key
+  else begin
+    let bits = ref (Rfchain.Config.to_bits true_key) in
+    let rng = Sigkit.Rng.split t.scramble (Printf.sprintf "corrupt:%d" n_bad) in
+    for _ = 1 to n_bad do
+      let pos = Sigkit.Rng.int_range rng 0 63 in
+      bits := Int64.logxor !bits (Int64.shift_left 1L pos)
+    done;
+    Rfchain.Config.of_bits !bits
+  end
+
+let descriptor =
+  {
+    Technique.name = "calibration-loop logic lock";
+    reference = "[10]";
+    key_bits = 16;
+    lock_site = Technique.Calibration_loop;
+    per_chip_key = true;  (* wrong settings differ per chip, like [10] *)
+    design_intrusive = true;
+    added_circuitry = true;
+    area_overhead_pct = 2.5;
+    power_overhead_pct = 1.0;
+    removal =
+      Technique.Hard_to_remove
+        "replacing the locked optimizer requires re-deriving the calibration algorithm it implements";
+  }

@@ -1,0 +1,27 @@
+(** Calibration-loop locking, Jayasankaran et al. [10] (paper Fig. 1e).
+
+    The digital optimizer inside the on-chip calibration feedback loop
+    is logic-locked: with the wrong key the optimizer converges to
+    wrong tuning settings.  Modelled as a locked netlist standing in
+    the optimizer's update path — the update word it emits is corrupted
+    at the locked gates' error rate, so the "calibrated" configuration
+    drifts away from the true optimum as a function of key badness. *)
+
+type t
+
+val create : ?key_bits:int -> Sigkit.Rng.t -> t
+
+val correct_key : t -> bool array
+
+val corrupted_calibration :
+  t ->
+  key:bool array ->
+  true_key:Rfchain.Config.t ->
+  Rfchain.Config.t
+(** What the locked optimizer would program: the true calibrated word
+    with bit corruption proportional to the logic error rate. *)
+
+val tuning_error_bits : t -> key:bool array -> int
+(** Expected corrupted bits out of the 64-bit tuning word. *)
+
+val descriptor : Technique.t

@@ -1,0 +1,81 @@
+let proposed =
+  {
+    Technique.name = "programmability-fabric lock";
+    reference = "this";
+    key_bits = 64;
+    lock_site = Technique.Programmable_fabric;
+    per_chip_key = true;
+    design_intrusive = false;
+    added_circuitry = false;
+    area_overhead_pct = 0.0;
+    power_overhead_pct = 0.0;
+    removal = Technique.Nothing_to_remove;
+  }
+
+let all =
+  [
+    Memristor_lock.descriptor;
+    Bias_obfuscation.descriptor;
+    Mirror_lock.descriptor;
+    Mixlock.descriptor;
+    Calib_lock.descriptor;
+    Neural_bias.descriptor;
+    proposed;
+  ]
+
+type corruption_probe = {
+  technique : string;
+  wrong_key_penalty_db : float;
+  zero_key_penalty_db : float;
+}
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+let random_key rng n = Array.init n (fun _ -> Sigkit.Rng.bool rng)
+
+let corruption_probes ?(seed = 31) () =
+  let rng = Sigkit.Rng.create seed in
+  let n_probes = 32 in
+  let probe name ~bits ~penalty ~correct =
+    let wrong = List.init n_probes (fun _ -> penalty (random_key rng bits)) in
+    {
+      technique = name;
+      wrong_key_penalty_db = mean wrong;
+      zero_key_penalty_db = penalty correct;
+    }
+  in
+  let memristor = Memristor_lock.create (Sigkit.Rng.split rng "memristor") ~rows:16 in
+  let bias = Bias_obfuscation.create (Sigkit.Rng.split rng "bias") ~key_bits:10 in
+  let mirror = Mirror_lock.create (Sigkit.Rng.split rng "mirror") ~key_bits:12 ~ratio:4.0 in
+  let mix = Mixlock.create (Sigkit.Rng.split rng "mixlock") in
+  let calib = Calib_lock.create (Sigkit.Rng.split rng "calib") in
+  [
+    probe "memristor crossbar bias lock" ~bits:16
+      ~penalty:(fun key ->
+        (* 1 mV sense-amp offset ~ 1 dB SNR-equivalent penalty here. *)
+        Float.min 60.0 (Memristor_lock.offset_penalty_mv memristor ~key))
+      ~correct:(Memristor_lock.correct_key memristor);
+    probe "bias transistor obfuscation" ~bits:10
+      ~penalty:(fun key -> Bias_obfuscation.performance_penalty_db bias ~key)
+      ~correct:(Bias_obfuscation.correct_key bias);
+    probe "current-mirror locking" ~bits:12
+      ~penalty:(fun key -> Float.min 60.0 (40.0 *. Mirror_lock.ratio_error mirror ~key))
+      ~correct:(Mirror_lock.correct_key mirror);
+    probe "MixLock (digital logic lock)" ~bits:24
+      ~penalty:(fun key -> Mixlock.equivalent_snr_penalty_db mix ~key)
+      ~correct:(Mixlock.correct_key mix);
+    probe "calibration-loop logic lock" ~bits:16
+      ~penalty:(fun key ->
+        (* ~1.2 dB penalty per corrupted tuning bit, saturating. *)
+        Float.min 60.0 (1.2 *. float_of_int (Calib_lock.tuning_error_bits calib ~key)))
+      ~correct:(Calib_lock.correct_key calib);
+  ]
+
+let removal_analysis () =
+  List.map (fun t -> (t.Technique.name, t.Technique.removal)) all
+
+let pp_table fmt () =
+  Format.fprintf fmt "@[<v>%-28s %-10s %-9s %-19s  %-8s %-9s %-9s  area/power@,"
+    "technique" "ref" "key" "lock site" "key/die" "design" "removal";
+  List.iter (fun t -> Format.fprintf fmt "%a@," Technique.pp_row t) all;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+type t = {
+  conductance_us : float array;   (** per-row on-state conductance *)
+  correct : bool array;
+  target_mv : float;
+}
+
+let target_bias_mv = 300.0
+
+let create rng ~rows =
+  if rows < 2 || rows > 24 then invalid_arg "Memristor_lock.create: rows";
+  let correct = Array.init rows (fun _ -> Sigkit.Rng.bool rng) in
+  if not (Array.exists Fun.id correct) then correct.(0) <- true;
+  let n_on = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 correct in
+  let conductance_us =
+    Array.init rows (fun i ->
+        if correct.(i) then target_bias_mv /. float_of_int n_on
+        else target_bias_mv /. float_of_int n_on *. Sigkit.Rng.uniform rng 0.2 2.0)
+  in
+  { conductance_us; correct; target_mv = target_bias_mv }
+
+let correct_key t = Array.copy t.correct
+
+let body_bias_mv t ~key =
+  if Array.length key <> Array.length t.correct then invalid_arg "Memristor_lock: key arity";
+  let acc = ref 0.0 in
+  Array.iteri (fun i g -> if key.(i) then acc := !acc +. g) t.conductance_us;
+  !acc
+
+let offset_penalty_mv t ~key =
+  (* 1 mV of input offset per 4 mV of body-bias error, first order. *)
+  Float.abs (body_bias_mv t ~key -. t.target_mv) /. 4.0
+
+let descriptor =
+  {
+    Technique.name = "memristor crossbar bias lock";
+    reference = "[6]";
+    key_bits = 16;
+    lock_site = Technique.Biasing;
+    per_chip_key = false;
+    design_intrusive = true;
+    added_circuitry = true;
+    area_overhead_pct = 6.0;
+    power_overhead_pct = 2.0;
+    removal =
+      Technique.Removable
+        "the crossbar only generates a DC body bias: replace it with a fixed bias divider";
+  }

@@ -1,0 +1,21 @@
+(** Memristor-crossbar bias locking, Hoe et al. [6] (paper Fig. 1a).
+
+    A memristor crossbar generates the body bias of a sense amplifier's
+    input pair; the key programs the crossbar conductances.  Wrong keys
+    skew the body bias, degrading the amplifier's offset and speed.
+    Like all bias locks, the crossbar is added circuitry around a small
+    number of bias nets. *)
+
+type t
+
+val create : Sigkit.Rng.t -> rows:int -> t
+
+val correct_key : t -> bool array
+
+val body_bias_mv : t -> key:bool array -> float
+(** Generated body bias; the design point is 300 mV. *)
+
+val offset_penalty_mv : t -> key:bool array -> float
+(** Sense-amp input offset added by the bias error. *)
+
+val descriptor : Technique.t

@@ -1,0 +1,49 @@
+type t = {
+  legs : float array;       (** per-leg contribution to the mirror ratio *)
+  correct : bool array;
+  target : float;
+}
+
+let create rng ~key_bits ~ratio =
+  if key_bits < 2 || key_bits > 20 then invalid_arg "Mirror_lock.create: key bits";
+  if ratio <= 0.0 then invalid_arg "Mirror_lock.create: ratio";
+  let correct = Array.init key_bits (fun _ -> Sigkit.Rng.bool rng) in
+  if not (Array.exists Fun.id correct) then correct.(0) <- true;
+  let n_on = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 correct in
+  (* Correct legs share the target ratio; decoy legs are deliberately
+     off-unit so wrong subsets miss it. *)
+  let legs =
+    Array.init key_bits (fun i ->
+        if correct.(i) then ratio /. float_of_int n_on
+        else ratio /. float_of_int n_on *. Sigkit.Rng.uniform rng 0.3 2.5)
+  in
+  { legs; correct; target = ratio }
+
+let correct_key t = Array.copy t.correct
+
+let ratio_of t key =
+  let acc = ref 0.0 in
+  Array.iteri (fun i leg -> if key.(i) then acc := !acc +. leg) t.legs;
+  !acc
+
+let ratio_error t ~key =
+  if Array.length key <> Array.length t.correct then invalid_arg "Mirror_lock: key arity";
+  Float.abs (ratio_of t key -. t.target) /. t.target
+
+let bias_current_ua t ~key ~nominal_ua = nominal_ua *. ratio_of t key /. t.target
+
+let descriptor =
+  {
+    Technique.name = "current-mirror locking";
+    reference = "[8]";
+    key_bits = 12;
+    lock_site = Technique.Biasing;
+    per_chip_key = false;
+    design_intrusive = true;
+    added_circuitry = true;
+    area_overhead_pct = 3.0;
+    power_overhead_pct = 1.5;
+    removal =
+      Technique.Removable
+        "mirror legs are added circuitry on a handful of bias lines: redesign the mirrors and re-fab";
+  }

@@ -1,0 +1,22 @@
+(** Combinational current-mirror locking, Wang et al. [8] (paper Fig. 1c).
+
+    The bias-distribution current mirrors are redesigned so key bits
+    switch mirror legs in and out; only the correct combination
+    reproduces the designed mirror ratio.  Same structural weakness as
+    [7]: the lock sits in the (global, per-design) biasing and can be
+    excised. *)
+
+type t
+
+val create : Sigkit.Rng.t -> key_bits:int -> ratio:float -> t
+(** Mirror with hidden correct leg set reproducing [ratio]. *)
+
+val correct_key : t -> bool array
+
+val ratio_error : t -> key:bool array -> float
+(** |ratio(key) - ratio_target| / ratio_target. *)
+
+val bias_current_ua : t -> key:bool array -> nominal_ua:float -> float
+(** The mis-keyed bias current a downstream block would receive. *)
+
+val descriptor : Technique.t

@@ -1,0 +1,35 @@
+type t = { locked : Netlist.Logic_lock.locked }
+
+let create ?(key_bits = 24) ?(adder_width = 16) rng =
+  let original = Netlist.Bench_circuits.ripple_adder adder_width in
+  { locked = Netlist.Logic_lock.lock rng original ~key_bits }
+
+let correct_key t = Array.copy t.locked.Netlist.Logic_lock.correct_key
+
+let output_error_rate t ~key = Netlist.Logic_lock.corruption t.locked ~key
+
+let equivalent_snr_penalty_db t ~key =
+  let e = output_error_rate t ~key in
+  if e <= 0.0 then 0.0
+  else
+    (* Word errors at rate e at full scale: error power ~ e * FS^2/4;
+       ceiling = 10log10(signal/error). *)
+    Float.max 0.0 (45.0 -. (10.0 *. log10 (1.0 /. e)))
+
+let removal_demo t = Netlist.Logic_lock.removal_attack t.locked
+
+let descriptor =
+  {
+    Technique.name = "MixLock (digital logic lock)";
+    reference = "[9]";
+    key_bits = 24;
+    lock_site = Technique.Digital_section;
+    per_chip_key = false;
+    design_intrusive = true;
+    added_circuitry = true;
+    area_overhead_pct = 2.0;
+    power_overhead_pct = 1.0;
+    removal =
+      Technique.Hard_to_remove
+        "key gates interleave with functional logic: excision requires resynthesising the digital section";
+  }

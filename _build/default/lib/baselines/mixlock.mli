@@ -1,0 +1,30 @@
+(** MixLock, Leonhard et al. [9] (paper Fig. 1d).
+
+    Lock a mixed-signal circuit by logic-locking its digital section.
+    Here the locked block is a stand-in for the receiver's decimation-
+    filter control logic: a ripple-carry adder netlist with XOR/XNOR
+    key gates.  The wrong key corrupts the digital arithmetic, which
+    corrupts the receiver output — functionality locking, not bias
+    locking, hence per-chip attack surface comparable to the proposed
+    scheme, but the key logic is still *added* circuitry. *)
+
+type t
+
+val create : ?key_bits:int -> ?adder_width:int -> Sigkit.Rng.t -> t
+
+val correct_key : t -> bool array
+
+val output_error_rate : t -> key:bool array -> float
+(** Fraction of input vectors with corrupted digital output. *)
+
+val equivalent_snr_penalty_db : t -> key:bool array -> float
+(** Bit-error rate mapped to an SNR penalty on the decimated channel:
+    a digital word error rate of e contributes roughly
+    10 log10(1/e) - 9 dB of SNDR ceiling (full-scale error power). *)
+
+val removal_demo : t -> Netlist.Gate.t
+(** The removal attack succeeding structurally: locate and excise the
+    key gates (the paper ranks this harder than bias removal but still
+    possible — the attacker must resynthesise the digital section). *)
+
+val descriptor : Technique.t

@@ -1,0 +1,47 @@
+type lock_site =
+  | Biasing
+  | Neural_biasing
+  | Digital_section
+  | Calibration_loop
+  | Programmable_fabric
+
+type removal_verdict =
+  | Removable of string
+  | Hard_to_remove of string
+  | Nothing_to_remove
+
+type t = {
+  name : string;
+  reference : string;
+  key_bits : int;
+  lock_site : lock_site;
+  per_chip_key : bool;
+  design_intrusive : bool;
+  added_circuitry : bool;
+  area_overhead_pct : float;
+  power_overhead_pct : float;
+  removal : removal_verdict;
+}
+
+let removal_vulnerable t =
+  match t.removal with
+  | Removable _ -> true
+  | Hard_to_remove _ | Nothing_to_remove -> false
+
+let site_label = function
+  | Biasing -> "biasing"
+  | Neural_biasing -> "NN biasing"
+  | Digital_section -> "digital section"
+  | Calibration_loop -> "calibration loop"
+  | Programmable_fabric -> "programmable fabric"
+
+let pp_row fmt t =
+  Format.fprintf fmt "%-28s %-10s %3d bits  %-19s  %-8s %-9s %-9s  %4.1f%% / %4.1f%%"
+    t.name t.reference t.key_bits (site_label t.lock_site)
+    (if t.per_chip_key then "per-die" else "global")
+    (if t.design_intrusive then "redesign" else "intact")
+    (match t.removal with
+    | Removable _ -> "REMOVABLE"
+    | Hard_to_remove _ -> "hard"
+    | Nothing_to_remove -> "immune")
+    t.area_overhead_pct t.power_overhead_pct

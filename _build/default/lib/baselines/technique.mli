@@ -1,0 +1,36 @@
+(** Unified descriptor for analog locking techniques (paper Section II).
+
+    Every prior scheme [6]-[11] and the proposed fabric locking are
+    described by the same axes the paper's comparison discusses: where
+    the key acts, whether circuitry is added (and hence removable),
+    whether keys are per-die, and the design-intrusiveness overheads. *)
+
+type lock_site =
+  | Biasing            (** [6], [7], [8]: fixed bias generation *)
+  | Neural_biasing     (** [11]: NN mapping analog key to biases *)
+  | Digital_section    (** [9]: logic locking of the digital part *)
+  | Calibration_loop   (** [10]: logic locking of the on-chip optimizer *)
+  | Programmable_fabric (** proposed: the tuning knobs themselves *)
+
+type removal_verdict =
+  | Removable of string        (** how the attacker excises the lock *)
+  | Hard_to_remove of string
+  | Nothing_to_remove          (** no added circuitry exists *)
+
+type t = {
+  name : string;
+  reference : string;
+  key_bits : int;
+  lock_site : lock_site;
+  per_chip_key : bool;          (** key differs die to die *)
+  design_intrusive : bool;      (** requires redesign of the analog IP *)
+  added_circuitry : bool;
+  area_overhead_pct : float;
+  power_overhead_pct : float;
+  removal : removal_verdict;
+}
+
+val removal_vulnerable : t -> bool
+
+val pp_row : Format.formatter -> t -> unit
+(** One comparison-table row. *)

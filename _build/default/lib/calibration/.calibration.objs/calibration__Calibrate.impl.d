@@ -1,0 +1,1 @@
+lib/calibration/calibrate.ml: Coordinate_search Float List Metrics Osc_tune Printf Rfchain

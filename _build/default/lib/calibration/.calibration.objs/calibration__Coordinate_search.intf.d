@@ -1,0 +1,1 @@
+lib/calibration/coordinate_search.mli: Rfchain

@@ -1,0 +1,1 @@
+lib/calibration/onchip.ml: Array Float Metrics Netlist Osc_tune Printf Rfchain

@@ -1,0 +1,1 @@
+lib/calibration/onchip.mli: Netlist Rfchain Sigkit

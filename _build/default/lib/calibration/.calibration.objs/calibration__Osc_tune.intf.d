@@ -1,0 +1,1 @@
+lib/calibration/osc_tune.mli: Rfchain

@@ -1,0 +1,87 @@
+type report = {
+  key : Rfchain.Config.t;
+  snr_mod_db : float;
+  snr_rx_db : float;
+  sfdr_db : float;
+  freq_error_hz : float;
+  oscillation_measurements : int;
+  snr_measurements : int;
+  log : string list;
+}
+
+let step14_fields =
+  [
+    "gmin_bias";
+    "dac_bias";
+    "loop_delay";
+    "preamp_bias";
+    "comp_bias";
+    "cap_fine";
+    "dac_trim";
+    "preamp_trim";
+    "vglna_gain";
+  ]
+
+(* Step 11's design formula: the delay-line setting that compensates the
+   loop at this sampling rate for a typical die (per-die skew is then
+   absorbed by step 14). *)
+let delay_code_for_fs fs = max 0 (min 15 (int_of_float (Float.round (4.0 +. (4.0 *. fs /. 12e9)))))
+
+let run ?(passes = 2) ?(refine_sfdr = true) rx =
+  let log = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+  let fs = Rfchain.Receiver.fs rx in
+  (* Steps 1-7: oscillation-mode centre-frequency tuning. *)
+  let osc = Osc_tune.run rx in
+  say "steps 1-7: Cc=%d Cf=%d, freq error %.0f kHz, -Gm backed off to %d (%d osc. measurements)"
+    osc.cap_coarse osc.cap_fine (osc.freq_error_hz /. 1e3) osc.gm_q osc.measurements;
+  (* Steps 8-13: restore loop, set delay and gain, nominal biases. *)
+  let start =
+    {
+      Rfchain.Config.nominal with
+      cap_coarse = osc.cap_coarse;
+      cap_fine = osc.cap_fine;
+      gm_q = osc.gm_q;
+      loop_delay = delay_code_for_fs fs;
+      vglna_gain = Rfchain.Vglna.segment_code ~p_dbm:(-25.0);
+    }
+  in
+  say "steps 8-13: loop restored, delay code %d, VGLNA code %d, biases nominal"
+    start.loop_delay start.vglna_gain;
+  (* Step 14: iterative refinement driven by measured SNR (and SFDR). *)
+  let bench = Metrics.Measure.create rx in
+  let objective config =
+    let snr = Metrics.Measure.snr_mod_db bench config in
+    if not refine_sfdr then snr
+    else begin
+      let sfdr = Metrics.Measure.sfdr_db bench config in
+      let standard = Rfchain.Receiver.standard rx in
+      (* SFDR contributes only its shortfall from spec plus a 2 dB
+         production margin; once comfortably in spec, SNR rules. *)
+      let target = standard.Rfchain.Standards.min_sfdr_db +. 2.0 in
+      snr -. (4.0 *. Float.max 0.0 (target -. sfdr))
+    end
+  in
+  let outcome =
+    Coordinate_search.maximize ~objective ~fields:step14_fields ~start ~passes ()
+  in
+  let key = outcome.Coordinate_search.best in
+  let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
+  let snr_rx_db = Metrics.Measure.snr_rx_db bench key in
+  let sfdr_db = Metrics.Measure.sfdr_db bench key in
+  say "step 14: %d trials; SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB"
+    outcome.Coordinate_search.evaluations snr_mod_db snr_rx_db sfdr_db;
+  {
+    key;
+    snr_mod_db;
+    snr_rx_db;
+    sfdr_db;
+    freq_error_hz = osc.freq_error_hz;
+    oscillation_measurements = osc.measurements;
+    snr_measurements = Metrics.Measure.trial_count bench;
+    log = List.rev !log;
+  }
+
+let quick rx =
+  let report = run ~passes:1 ~refine_sfdr:false rx in
+  report.key

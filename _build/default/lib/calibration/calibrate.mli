@@ -1,0 +1,40 @@
+(** The full 14-step calibration procedure (paper Section V-B).
+
+    This algorithm is the design house's crown jewel: it is what turns
+    a blank die into a working receiver, and under the locking scheme
+    it is kept secret together with the configuration settings it
+    produces.  Steps:
+
+    + 1-4   reconfigure for calibration (buffered comparator, output
+            buffer in path, RF input off, feedback open);
+    + 5-7   oscillation-mode tuning of Cc/Cf and -Gm back-off
+            ({!Osc_tune});
+    + 8-11  restore the loop, select sampling rate and loop delay;
+    + 12    VGLNA segment selection for the target sensitivity;
+    + 13    nominal bias initialisation (design knowledge);
+    + 14    iterative SNR/SFDR-driven bias refinement
+            ({!Coordinate_search}). *)
+
+type report = {
+  key : Rfchain.Config.t;        (** the calibrated configuration = secret key *)
+  snr_mod_db : float;            (** achieved SNR at the modulator output *)
+  snr_rx_db : float;             (** achieved SNR at the receiver output *)
+  sfdr_db : float;               (** achieved SFDR *)
+  freq_error_hz : float;         (** residual tank-tuning error *)
+  oscillation_measurements : int;
+  snr_measurements : int;
+  log : string list;             (** human-readable step trace, oldest first *)
+}
+
+val step14_fields : string list
+(** The knobs refined by the iterative step, in the (secret) order the
+    procedure visits them. *)
+
+val run : ?passes:int -> ?refine_sfdr:bool -> Rfchain.Receiver.t -> report
+(** Calibrate one die for the receiver's standard.  [passes] bounds the
+    step-14 cycles (default 2); [refine_sfdr] adds an SFDR term to the
+    step-14 objective (default true, one extra trial per probe). *)
+
+val quick : Rfchain.Receiver.t -> Rfchain.Config.t
+(** Calibration with a single refinement pass and no SFDR term —
+    cheaper, used by tests and large Monte-Carlo sweeps. *)

@@ -1,0 +1,32 @@
+type outcome = {
+  best : Rfchain.Config.t;
+  best_score : float;
+  evaluations : int;
+}
+
+let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]) ?(passes = 2) () =
+  let evaluations = ref 0 in
+  let eval config =
+    incr evaluations;
+    objective config
+  in
+  let best = ref start and best_score = ref (eval start) in
+  let probe_field name =
+    let width = Rfchain.Config.field_width name in
+    let current = Rfchain.Config.field !best name in
+    let try_code code =
+      if code >= 0 && code < 1 lsl width && code <> current then begin
+        let candidate = Rfchain.Config.with_field !best name code in
+        let score = eval candidate in
+        if score > !best_score then begin
+          best := candidate;
+          best_score := score
+        end
+      end
+    in
+    List.iter (fun off -> try_code (current + off)) offsets
+  in
+  for _ = 1 to passes do
+    List.iter probe_field fields
+  done;
+  { best = !best; best_score = !best_score; evaluations = !evaluations }

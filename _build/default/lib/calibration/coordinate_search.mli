@@ -1,0 +1,26 @@
+(** Iterative per-knob maximisation (calibration step 14's engine).
+
+    Cyclic coordinate search over named configuration fields: each pass
+    probes every field at a ladder of offsets from the current code and
+    keeps the best.  This is also (deliberately) the same engine the
+    multi-objective optimisation attack uses — the difference between
+    the designer and the attacker is the starting point and the secret
+    conditioning of the circuit, not the search machinery. *)
+
+type outcome = {
+  best : Rfchain.Config.t;
+  best_score : float;
+  evaluations : int;
+}
+
+val maximize :
+  objective:(Rfchain.Config.t -> float) ->
+  fields:string list ->
+  start:Rfchain.Config.t ->
+  ?offsets:int list ->
+  ?passes:int ->
+  unit ->
+  outcome
+(** [maximize ~objective ~fields ~start ()] hill-climbs [objective].
+    [offsets] is the probe ladder (default +-1, +-2, +-4, +-8);
+    [passes] the number of full cycles (default 2). *)

@@ -1,0 +1,224 @@
+(* The ALU is a 16-bit gate-level ripple adder (optionally logic-locked)
+   plus the two derived operations the optimizer needs: subtraction via
+   two's complement and >= via the carry-out.  All quantities the FSM
+   reasons about are scaled to unsigned 16-bit integers: frequencies in
+   MHz, SNRs in centi-dB offset by 8192. *)
+
+let alu_width = 16
+let mask = (1 lsl alu_width) - 1
+
+type alu = {
+  eval : int -> int -> int * bool;  (* 16-bit sum and carry-out *)
+  mutable ops : int;
+}
+
+let bits_of_int v = Array.init alu_width (fun i -> v land (1 lsl i) <> 0)
+
+let int_of_bits bits =
+  let acc = ref 0 in
+  Array.iteri (fun i b -> if b && i < alu_width then acc := !acc lor (1 lsl i)) bits;
+  !acc
+
+let plain_alu () =
+  let adder = Netlist.Bench_circuits.ripple_adder alu_width in
+  let eval a b =
+    let out = Netlist.Gate.eval adder ~key:[||] (Array.append (bits_of_int a) (bits_of_int b)) in
+    (int_of_bits out, out.(alu_width))
+  in
+  { eval; ops = 0 }
+
+let locked_alu (locked : Netlist.Logic_lock.locked) ~key =
+  let eval a b =
+    let out =
+      Netlist.Gate.eval locked.Netlist.Logic_lock.circuit ~key
+        (Array.append (bits_of_int a) (bits_of_int b))
+    in
+    (int_of_bits out, out.(alu_width))
+  in
+  { eval; ops = 0 }
+
+let lock_alu rng ?(key_bits = 16) () =
+  Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder alu_width) ~key_bits
+
+let add alu a b =
+  alu.ops <- alu.ops + 1;
+  fst (alu.eval (a land mask) (b land mask))
+
+(* a >= b through the adder: carry out of a + (2^16 - b). *)
+let ge alu a b =
+  if b land mask = 0 then true
+  else begin
+    alu.ops <- alu.ops + 2;
+    let neg_b, _ = alu.eval (lnot b land mask) 1 in
+    let _, carry = alu.eval (a land mask) neg_b in
+    carry
+  end
+
+let sub alu a b =
+  alu.ops <- alu.ops + 2;
+  let neg_b, _ = alu.eval (lnot b land mask) 1 in
+  fst (alu.eval (a land mask) neg_b)
+
+(* ------------------------------------------------------------------ FSM *)
+
+type progress =
+  | Running of string
+  | Done of Rfchain.Config.t
+
+type phase =
+  | Coarse_search of int * int            (* lo, hi *)
+  | Fine_search of int * int
+  | Gm_backoff of int
+  | Bias_init
+  | Bias_sweep of string list * int list * int   (* fields, offsets, best snr code *)
+  | Finished
+
+type t = {
+  rx : Rfchain.Receiver.t;
+  alu : alu;
+  f0_mhz : int;
+  mutable config : Rfchain.Config.t;
+  mutable phase : phase;
+  mutable meas : int;
+  mutable passes_left : int;
+}
+
+let sweep_fields = [ "gmin_bias"; "dac_bias"; "loop_delay"; "preamp_bias"; "comp_bias"; "cap_fine" ]
+let sweep_offsets = [ 4; -4; 2; -2; 1; -1 ]
+
+let make rx alu =
+  let f0 = (Rfchain.Receiver.standard rx).Rfchain.Standards.f0_hz in
+  {
+    rx;
+    alu;
+    f0_mhz = int_of_float (Float.round (f0 /. 1e6));
+    config = Osc_tune.oscillation_config Rfchain.Config.nominal;
+    phase = Coarse_search (0, 255);
+    meas = 0;
+    passes_left = 2;
+  }
+
+let create rx = make rx (plain_alu ())
+let create_locked rx ~locked_alu:locked ~key = make rx (locked_alu locked ~key)
+
+let measurements t = t.meas
+let alu_operations t = t.alu.ops
+
+let clamp_field name v =
+  let w = Rfchain.Config.field_width name in
+  max 0 (min ((1 lsl w) - 1) (v land mask))
+
+let measure_osc_mhz t config =
+  t.meas <- t.meas + 1;
+  match Osc_tune.measure_frequency t.rx config with
+  | Some f -> int_of_float (Float.round (f /. 1e6))
+  | None -> 0
+
+(* SNR in offset centi-dB, saturating into the unsigned ALU range. *)
+let measure_snr_code t config =
+  t.meas <- t.meas + 1;
+  let bench = Metrics.Measure.create t.rx in
+  let snr = Metrics.Measure.snr_mod_db bench config in
+  let code = int_of_float (Float.round ((snr *. 10.0) +. 8192.0)) in
+  max 0 (min mask code)
+
+(* One binary-search iteration over a capacitor field: oscillation
+   frequency decreases with code, so f > f0 means "not enough
+   capacitance yet". *)
+let search_step t ~field (lo, hi) ~next_phase ~wrap =
+  if lo >= hi then begin
+    t.config <- Rfchain.Config.with_field t.config field (clamp_field field lo);
+    next_phase ()
+  end
+  else begin
+    let mid = clamp_field field (add t.alu lo hi lsr 1) in
+    let f = measure_osc_mhz t (Rfchain.Config.with_field t.config field mid) in
+    if ge t.alu f t.f0_mhz then wrap (add t.alu mid 1, hi) else wrap (lo, mid)
+  end
+
+let step t =
+  match t.phase with
+  | Finished -> Done t.config
+  | Coarse_search (lo, hi) ->
+    search_step t ~field:"cap_coarse" (lo, hi)
+      ~next_phase:(fun () -> t.phase <- Fine_search (0, 255))
+      ~wrap:(fun (lo, hi) -> t.phase <- Coarse_search (lo, hi));
+    Running (Printf.sprintf "coarse search [%d, %d]" lo hi)
+  | Fine_search (lo, hi) ->
+    search_step t ~field:"cap_fine" (lo, hi)
+      ~next_phase:(fun () -> t.phase <- Gm_backoff 63)
+      ~wrap:(fun (lo, hi) -> t.phase <- Fine_search (lo, hi));
+    Running (Printf.sprintf "fine search [%d, %d]" lo hi)
+  | Gm_backoff code ->
+    if code < 0 then begin
+      t.config <- { t.config with gm_q = 0 };
+      t.phase <- Bias_init
+    end
+    else begin
+      t.meas <- t.meas + 1;
+      (* A corrupted ALU can produce out-of-range codes; the register
+         driving the -Gm DAC is physically 6 bits wide. *)
+      let gm_q = clamp_field "gm_q" code in
+      match Osc_tune.measure_frequency t.rx { t.config with gm_q } with
+      | Some _ -> t.phase <- Gm_backoff (sub t.alu code 1)
+      | None ->
+        t.config <- { t.config with gm_q };
+        t.phase <- Bias_init
+    end;
+    Running (Printf.sprintf "-Gm back-off at %d" code)
+  | Bias_init ->
+    (* Restore normal operation (steps 8-13). *)
+    let fs = Rfchain.Receiver.fs t.rx in
+    t.config <-
+      {
+        t.config with
+        fb_enable = true;
+        comp_clock_enable = true;
+        gmin_enable = true;
+        cal_buffer_enable = false;
+        loop_delay = max 0 (min 15 (int_of_float (Float.round (4.0 +. (4.0 *. fs /. 12e9)))));
+        vglna_gain = Rfchain.Vglna.segment_code ~p_dbm:(-25.0);
+        gmin_bias = 32;
+        dac_bias = 32;
+        preamp_bias = 32;
+        comp_bias = 32;
+      };
+    let best = measure_snr_code t t.config in
+    t.phase <- Bias_sweep (sweep_fields, sweep_offsets, best);
+    Running "loop restore and nominal biases"
+  | Bias_sweep ([], _, best) ->
+    t.passes_left <- t.passes_left - 1;
+    if t.passes_left > 0 then t.phase <- Bias_sweep (sweep_fields, sweep_offsets, best)
+    else t.phase <- Finished;
+    Running "sweep pass complete"
+  | Bias_sweep (field :: rest, [], best) ->
+    ignore field;
+    t.phase <- Bias_sweep (rest, sweep_offsets, best);
+    Running (Printf.sprintf "next knob after %s" field)
+  | Bias_sweep ((field :: _ as fields), offset :: offsets, best) ->
+    let current = Rfchain.Config.field t.config field in
+    let candidate_code =
+      if offset >= 0 then add t.alu current offset else sub t.alu current (-offset)
+    in
+    let candidate_code = clamp_field field candidate_code in
+    if candidate_code <> current then begin
+      let candidate = Rfchain.Config.with_field t.config field candidate_code in
+      let snr = measure_snr_code t candidate in
+      if ge t.alu snr (add t.alu best 1) then begin
+        t.config <- candidate;
+        t.phase <- Bias_sweep (fields, offsets, snr)
+      end
+      else t.phase <- Bias_sweep (fields, offsets, best)
+    end
+    else t.phase <- Bias_sweep (fields, offsets, best);
+    Running (Printf.sprintf "probing %s %+d" field offset)
+
+let run ?(max_steps = 10_000) t =
+  let rec go n =
+    if n = 0 then t.config
+    else
+      match step t with
+      | Done config -> config
+      | Running _ -> go (n - 1)
+  in
+  go max_steps

@@ -1,0 +1,50 @@
+(** On-chip self-calibration engine (paper Section III).
+
+    The calibration algorithm "can either run on-chip in hardware
+    pointing to autonomous self-calibration or can run off-chip in
+    software".  This module is the on-chip variant: a finite-state
+    machine that sequences the same steps as {!Calibrate}, but whose
+    digital optimizer — every addition and comparison that decides the
+    next code — executes on a gate-level ALU built from the {!Netlist}
+    substrate.
+
+    Because the optimizer is a real netlist, the calibration-loop
+    locking of Jayasankaran et al. [10] can be applied to it literally:
+    {!create_locked} wires key-gated XOR locks into the ALU, and a
+    wrong key makes the optimizer mis-add and mis-compare, so the FSM
+    "converges" to wrong tuning settings — the paper's Fig. 1e scheme,
+    demonstrated end to end on the receiver. *)
+
+type t
+
+val create : Rfchain.Receiver.t -> t
+(** Self-calibration engine with an unlocked ALU. *)
+
+val create_locked :
+  Rfchain.Receiver.t ->
+  locked_alu:Netlist.Logic_lock.locked ->
+  key:bool array ->
+  t
+(** Engine whose ALU is the given locked adder netlist operated under
+    [key].  With the correct key it behaves exactly like {!create}. *)
+
+val lock_alu : Sigkit.Rng.t -> ?key_bits:int -> unit -> Netlist.Logic_lock.locked
+(** Manufacture the lockable ALU: a 16-bit ripple adder with
+    [key_bits] (default 16) key gates. *)
+
+type progress =
+  | Running of string         (** current FSM phase, for tracing *)
+  | Done of Rfchain.Config.t  (** converged configuration *)
+
+val step : t -> progress
+(** Advance the FSM by one externally visible phase (one or more
+    measurements plus the ALU operations deciding the next state). *)
+
+val run : ?max_steps:int -> t -> Rfchain.Config.t
+(** Step to completion (default bound 10000 phases). *)
+
+val measurements : t -> int
+(** Measurements spent so far. *)
+
+val alu_operations : t -> int
+(** Gate-level ALU evaluations spent so far. *)

@@ -1,0 +1,72 @@
+type result = {
+  cap_coarse : int;
+  cap_fine : int;
+  gm_q : int;
+  freq_error_hz : float;
+  measurements : int;
+}
+
+let oscillation_config (config : Rfchain.Config.t) =
+  {
+    config with
+    comp_clock_enable = false;  (* step 1: comparator as buffer *)
+    cal_buffer_enable = true;   (* step 2: observation buffer in path *)
+    gmin_enable = false;        (* step 3: RF input disabled *)
+    fb_enable = false;          (* step 4: feedback loop off *)
+    gm_q = 63;                  (* step 5: -Gm at maximum *)
+  }
+
+let measure_frequency rx config =
+  let sdm = Rfchain.Receiver.sdm_of_config rx config in
+  Rfchain.Sdm.oscillation_frequency sdm ~n:8192
+
+let run rx =
+  let f0 = (Rfchain.Receiver.standard rx).Rfchain.Standards.f0_hz in
+  let base = oscillation_config Rfchain.Config.nominal in
+  let count = ref 0 in
+  let freq ~coarse ~fine =
+    incr count;
+    let config = { base with cap_coarse = coarse; cap_fine = fine } in
+    match measure_frequency rx config with
+    | Some f -> f
+    | None ->
+      (* At maximum -Gm the tank must oscillate; a silent tank means a
+         defective die, which calibration cannot recover. *)
+      failwith "Osc_tune: tank does not oscillate at maximum Q-enhancement"
+  in
+  (* Oscillation frequency decreases monotonically with capacitance,
+     hence with code: binary-search the crossing (step 6). *)
+  let search ~measure ~max_code =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if measure mid > f0 then go (mid + 1) hi else go lo mid
+    in
+    let candidate = go 0 max_code in
+    (* The crossing leaves two neighbours; keep the closer one. *)
+    let best = ref candidate and best_err = ref (Float.abs (measure candidate -. f0)) in
+    if candidate > 0 then begin
+      let err = Float.abs (measure (candidate - 1) -. f0) in
+      if err < !best_err then begin
+        best := candidate - 1;
+        best_err := err
+      end
+    end;
+    (!best, !best_err)
+  in
+  let coarse, _ = search ~measure:(fun c -> freq ~coarse:c ~fine:128) ~max_code:255 in
+  let fine, freq_error_hz = search ~measure:(fun c -> freq ~coarse ~fine:c) ~max_code:255 in
+  (* Step 7: back the Q-enhancement off until oscillation vanishes. *)
+  let tuned = { base with cap_coarse = coarse; cap_fine = fine } in
+  let rec back_off code =
+    if code < 0 then 0
+    else begin
+      incr count;
+      match measure_frequency rx { tuned with gm_q = code } with
+      | Some _ -> back_off (code - 1)
+      | None -> code
+    end
+  in
+  let gm_q = back_off 63 in
+  { cap_coarse = coarse; cap_fine = fine; gm_q; freq_error_hz; measurements = !count }

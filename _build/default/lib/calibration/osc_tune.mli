@@ -1,0 +1,30 @@
+(** Oscillation-mode centre-frequency tuning (calibration steps 1-7).
+
+    With the feedback loop opened, the input transconductor off, the
+    comparator bypassed to a buffer and the Q-enhancement cell at
+    maximum, the LC tank self-oscillates; the capacitor arrays are then
+    tuned until the observed oscillation frequency equals the wanted
+    carrier, after which the Q-enhancement is backed off until the
+    oscillation just vanishes.  All measurements go through the
+    modulator's observable output — never through ground-truth model
+    internals — so the procedure is exactly what a (secret-holding)
+    test engineer could run on silicon. *)
+
+type result = {
+  cap_coarse : int;
+  cap_fine : int;
+  gm_q : int;                  (** largest non-oscillating Q-enhancement code *)
+  freq_error_hz : float;       (** residual |f_osc - f0| after tuning *)
+  measurements : int;          (** oscillation-frequency measurements spent *)
+}
+
+val oscillation_config : Rfchain.Config.t -> Rfchain.Config.t
+(** Apply calibration steps 1-5 to a word: comparator buffered, output
+    buffer in path, input transconductor off, feedback open,
+    Q-enhancement at maximum. *)
+
+val measure_frequency : Rfchain.Receiver.t -> Rfchain.Config.t -> float option
+(** One oscillation-mode frequency measurement (step 6's primitive). *)
+
+val run : Rfchain.Receiver.t -> result
+(** Full steps 1-7 for the receiver's target standard. *)

@@ -1,0 +1,1 @@
+lib/circuit/cap_array.mli: Process

@@ -1,0 +1,1 @@
+lib/circuit/dac.mli: Process

@@ -1,0 +1,1 @@
+lib/circuit/noise_source.mli: Process

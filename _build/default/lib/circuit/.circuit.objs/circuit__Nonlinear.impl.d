@@ -1,0 +1,1 @@
+lib/circuit/nonlinear.ml: Array Float Sigkit

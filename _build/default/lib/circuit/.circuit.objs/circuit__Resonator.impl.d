@@ -1,0 +1,1 @@
+lib/circuit/resonator.ml: Array Float Sigkit

@@ -1,0 +1,46 @@
+type coding =
+  | Binary_weighted
+  | Unit_switched
+
+type t = {
+  branches : float array;  (** capacitance added by switching branch i on *)
+  base : float;            (** always-connected parasitic/base capacitance *)
+}
+
+let create ?(coding = Binary_weighted) chip ~name ~bits ~unit_cap ~mismatch_sigma_pct =
+  if bits < 1 || bits > 16 then invalid_arg "Cap_array.create: bits out of range";
+  let branch i =
+    let weight =
+      match coding with
+      | Binary_weighted -> float_of_int (1 lsl i)
+      | Unit_switched -> 1.0
+    in
+    let nominal = weight *. unit_cap in
+    Process.parameter chip
+      ~name:(Printf.sprintf "%s.branch%d" name i)
+      ~nominal ~sigma_pct:mismatch_sigma_pct
+  in
+  {
+    branches = Array.init bits branch;
+    base =
+      Process.parameter chip ~name:(name ^ ".base") ~nominal:(unit_cap *. 4.0)
+        ~sigma_pct:mismatch_sigma_pct;
+  }
+
+let bits t = Array.length t.branches
+let max_code t = (1 lsl bits t) - 1
+
+let capacitance t code =
+  if code < 0 || code > max_code t then invalid_arg "Cap_array.capacitance: code out of range";
+  let acc = ref t.base in
+  for i = 0 to bits t - 1 do
+    if code land (1 lsl i) <> 0 then acc := !acc +. t.branches.(i)
+  done;
+  !acc
+
+let code_count_for_capacitance t ~target ~tolerance =
+  let count = ref 0 in
+  for code = 0 to max_code t do
+    if Float.abs (capacitance t code -. target) <= tolerance then incr count
+  done;
+  !count

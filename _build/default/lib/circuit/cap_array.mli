@@ -1,0 +1,44 @@
+(** Programmable capacitor array.
+
+    The LC tank of the band-pass loop filter is tuned by a coarse and a
+    fine capacitor array (paper, Fig. 6).  Arrays are binary-weighted by
+    default: each target capacitance has a unique digital code, which is
+    the property the paper leans on for key-uniqueness (Section VI-B.1).
+    A unit-switched variant (equal unit capacitors, individually
+    switchable) exists for the key-multiplicity ablation: there, every
+    code with the same population count yields the same capacitance, so
+    a target capacitance no longer pins down a unique sub-key. *)
+
+type coding =
+  | Binary_weighted
+  | Unit_switched
+
+type t
+
+val create :
+  ?coding:coding ->
+  Process.chip ->
+  name:string ->
+  bits:int ->
+  unit_cap:float ->
+  mismatch_sigma_pct:float ->
+  t
+(** [create chip ~name ~bits ~unit_cap ~mismatch_sigma_pct] builds an
+    array of [bits] switchable branches.  Branch values carry per-chip
+    mismatch so the code-to-capacitance map differs die to die. *)
+
+val bits : t -> int
+
+val max_code : t -> int
+(** Largest valid code; codes are bit masks over the branches, so this
+    is [2^bits - 1] for both codings. *)
+
+val capacitance : t -> int -> float
+(** [capacitance t code] in farads.  Raises [Invalid_argument] when
+    [code] is outside [0, max_code]. *)
+
+val code_count_for_capacitance : t -> target:float -> tolerance:float -> int
+(** Number of codes whose capacitance falls within [target +-
+    tolerance] — 1 for a binary-weighted array away from mismatch
+    boundaries, and combinatorially large for unit-switched coding
+    (ablation metric). *)

@@ -1,0 +1,49 @@
+type mode =
+  | Clocked
+  | Buffer
+
+type t = {
+  mode : mode;
+  offset : float;
+  hysteresis : float;
+  noise : Sigkit.Rng.t option;
+  noise_sigma : float;
+  mutable previous : float;
+  mutable lp_state : float;   (* buffer-mode latch-node low-pass state *)
+}
+
+let create ?(mode = Clocked) ?(offset = 0.0) ?(hysteresis = 0.0) ?noise ?(noise_sigma = 0.0) () =
+  { mode; offset; hysteresis; noise; noise_sigma; previous = 1.0; lp_state = 0.0 }
+
+let mode t = t.mode
+
+let buffer_gain = 0.35
+let buffer_clip = 0.8
+
+(* Without the clock's regeneration the latch node is just an RC: a
+   one-pole low-pass around fs/50, which smears multi-GHz content. *)
+let buffer_pole_alpha = 0.12
+
+let sample_noise t =
+  match t.noise with
+  | Some rng when t.noise_sigma > 0.0 -> t.noise_sigma *. Sigkit.Rng.gaussian rng
+  | Some _ | None -> 0.0
+
+let step t x =
+  match t.mode with
+  | Buffer ->
+    let driven = x +. t.offset +. sample_noise t in
+    t.lp_state <- t.lp_state +. (buffer_pole_alpha *. (driven -. t.lp_state));
+    let v = buffer_gain *. t.lp_state in
+    if v > buffer_clip then buffer_clip else if v < -.buffer_clip then -.buffer_clip else v
+  | Clocked ->
+    let v = x +. t.offset +. sample_noise t in
+    let decision =
+      if Float.abs v <= t.hysteresis then t.previous else if v > 0.0 then 1.0 else -1.0
+    in
+    t.previous <- decision;
+    decision
+
+let reset t =
+  t.previous <- 1.0;
+  t.lp_state <- 0.0

@@ -1,0 +1,16 @@
+type t = {
+  gain : float;
+  level_pos : float;
+  level_neg : float;
+}
+
+let create chip ~gain =
+  let mismatch = Process.offset chip ~name:"dac.mismatch" ~sigma:0.002 in
+  { gain; level_pos = 1.0 +. mismatch; level_neg = -1.0 +. mismatch }
+
+(* Linear in the decision magnitude, with sign-dependent cell gain:
+   +1 -> gain * level_pos, -1 -> gain * level_neg. *)
+let convert t v =
+  if v >= 0.0 then t.gain *. t.level_pos *. v else -.(t.gain *. t.level_neg *. v)
+
+let gain t = t.gain

@@ -1,0 +1,17 @@
+(** 1-bit feedback DAC of the sigma-delta loop.
+
+    Converts the comparator decision back to an analog feedback charge.
+    The effective gain is trimmed by a bias code; level mismatch between
+    the +1 and -1 cells (per-chip) adds even-order error, and a wrong
+    bias code scales the loop gain away from the design point. *)
+
+type t
+
+val create : Process.chip -> gain:float -> t
+(** [create chip ~gain] gives a DAC whose nominal full-scale feedback
+    gain is [gain], with per-chip level mismatch. *)
+
+val convert : t -> float -> float
+(** Map a comparator decision (+-1) to the analog feedback value. *)
+
+val gain : t -> float

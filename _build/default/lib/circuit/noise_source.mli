@@ -1,0 +1,20 @@
+(** Thermal noise sources.
+
+    White Gaussian noise with a variance set either directly or from a
+    noise figure over a bandwidth, referenced to the 50-ohm port.  Every
+    source draws from its own reproducible per-chip stream. *)
+
+type t
+
+val create : Process.chip -> name:string -> sigma:float -> t
+(** Source with the given per-sample standard deviation (volts). *)
+
+val of_noise_figure : Process.chip -> name:string -> nf_db:float -> fs:float -> t
+(** Input-referred receiver noise for a front end with noise figure
+    [nf_db] sampled at [fs]: the kTB floor over the Nyquist bandwidth
+    [fs/2], degraded by NF, converted to a per-sample voltage sigma into
+    50 ohm. *)
+
+val sample : t -> float
+val run : t -> int -> float array
+val sigma : t -> float

@@ -1,0 +1,25 @@
+type t = {
+  a1 : float;
+  a2 : float;
+  a3 : float;
+  rail : float;
+}
+
+(* For y = a1 x + a3 x^3, the input amplitude at which the IM3 product
+   equals the fundamental (the intercept) satisfies
+   A_iip3^2 = 4/3 |a1 / a3|, so a3 = -4 a1 / (3 A^2) (compressive). *)
+let a3_of_iip3 ~gain ~iip3_dbm =
+  let a_iip3 = Sigkit.Decibel.amplitude_of_dbm iip3_dbm in
+  -4.0 *. gain /. (3.0 *. a_iip3 *. a_iip3)
+
+let create ?(a2 = 0.0) ~gain ~iip3_dbm ?(rail = 1.5) () =
+  { a1 = gain; a2; a3 = a3_of_iip3 ~gain ~iip3_dbm; rail }
+
+let linear ~gain = { a1 = gain; a2 = 0.0; a3 = 0.0; rail = infinity }
+
+let apply t x =
+  let y = (t.a1 *. x) +. (t.a2 *. x *. x) +. (t.a3 *. x *. x *. x) in
+  if Float.is_finite t.rail then t.rail *. tanh (y /. t.rail) else y
+
+let run t input = Array.map (apply t) input
+let a3 t = t.a3

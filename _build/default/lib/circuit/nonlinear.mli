@@ -1,0 +1,25 @@
+(** Memoryless weak nonlinearity with rail saturation.
+
+    Models the compression and odd-order distortion of transconductors
+    and amplifier stages: [y = sat(a1 x + a2 x^2 + a3 x^3)], where the
+    saturation is a scaled tanh at the supply rail.  The third-order
+    coefficient is derived from the stage's IIP3 so that two-tone tests
+    produce physically scaled intermodulation products. *)
+
+type t
+
+val create : ?a2:float -> gain:float -> iip3_dbm:float -> ?rail:float -> unit -> t
+(** [create ~gain ~iip3_dbm ()] builds a stage with linear [gain]
+    (voltage ratio) and the given input-referred third-order intercept
+    point.  [a2] is the second-order coefficient (default 0: fully
+    differential stage).  [rail] is the saturation amplitude at the
+    output (default 1.5 V). *)
+
+val linear : gain:float -> t
+(** Perfectly linear, unclipped stage (for ideal-model comparisons). *)
+
+val apply : t -> float -> float
+val run : t -> float array -> float array
+
+val a3 : t -> float
+(** The derived cubic coefficient (for tests). *)

@@ -1,0 +1,41 @@
+type chip = {
+  seed : int;
+  sigma_scale : float;
+  rng_root : Sigkit.Rng.t;
+  age_hours : float;
+}
+
+let fabricate ?(lot_sigma_scale = 1.0) ~seed () =
+  { seed; sigma_scale = lot_sigma_scale; rng_root = Sigkit.Rng.create seed; age_hours = 0.0 }
+
+let seed chip = chip.seed
+let age_hours chip = chip.age_hours
+
+let age chip ~hours =
+  if hours < 0.0 then invalid_arg "Process.age: negative hours";
+  { chip with age_hours = chip.age_hours +. hours }
+
+let draw chip name =
+  (* A one-shot generator keyed by (chip seed, parameter name): the first
+     gaussian of the split stream is the parameter's permanent draw. *)
+  Sigkit.Rng.gaussian (Sigkit.Rng.split chip.rng_root name)
+
+(* BTI/HCI drift: grows with the decade of use-hours, direction and
+   magnitude fixed per (die, parameter).  ~1.5% per decade, 1 sigma. *)
+let aging_shift chip name =
+  if chip.age_hours <= 0.0 then 0.0
+  else
+    let decades = log10 (1.0 +. chip.age_hours) in
+    let direction = Sigkit.Rng.gaussian (Sigkit.Rng.split chip.rng_root ("aging:" ^ name)) in
+    0.015 *. decades *. direction
+
+let parameter chip ~name ~nominal ~sigma_pct =
+  nominal
+  *. (1.0 +. (chip.sigma_scale *. sigma_pct /. 100.0 *. draw chip name) +. aging_shift chip name)
+
+let offset chip ~name ~sigma =
+  (chip.sigma_scale *. sigma *. draw chip name) +. (sigma *. aging_shift chip name *. 20.0)
+
+let noise_stream chip ~name = Sigkit.Rng.split chip.rng_root ("noise:" ^ name)
+
+let variation_enabled chip = chip.sigma_scale > 0.0

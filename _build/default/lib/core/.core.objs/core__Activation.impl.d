@@ -1,0 +1,1 @@
+lib/core/activation.ml: Char Int64 Key_mgmt String

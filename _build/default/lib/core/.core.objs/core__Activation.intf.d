@@ -1,0 +1,1 @@
+lib/core/activation.mli: Key_mgmt

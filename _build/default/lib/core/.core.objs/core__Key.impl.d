@@ -1,0 +1,1 @@
+lib/core/key.ml: Circuit Format Metrics Rfchain

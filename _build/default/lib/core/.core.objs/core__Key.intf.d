@@ -1,0 +1,1 @@
+lib/core/key.mli: Circuit Format Metrics Rfchain

@@ -1,0 +1,1 @@
+lib/core/key_codec.ml: Buffer Int64 Key List Printf Rfchain String

@@ -1,0 +1,1 @@
+lib/core/key_codec.mli: Key Rfchain

@@ -1,0 +1,1 @@
+lib/core/key_mgmt.ml: Int64 Key List Lut_memory Puf Rfchain

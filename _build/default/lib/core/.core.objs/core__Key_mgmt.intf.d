@@ -1,0 +1,1 @@
+lib/core/key_mgmt.mli: Circuit Key Lut_memory Puf Rfchain

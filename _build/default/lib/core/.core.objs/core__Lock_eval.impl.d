@@ -1,0 +1,1 @@
+lib/core/lock_eval.ml: Float List Metrics Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/core/lock_eval.mli: Rfchain

@@ -1,0 +1,1 @@
+lib/core/lut_memory.mli: Rfchain

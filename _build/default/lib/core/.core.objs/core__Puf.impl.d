@@ -1,0 +1,1 @@
+lib/core/puf.ml: Circuit Hashtbl Int64 Printf Sigkit

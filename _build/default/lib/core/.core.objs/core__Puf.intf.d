@@ -1,0 +1,1 @@
+lib/core/puf.mli: Circuit

@@ -1,0 +1,83 @@
+type keypair = {
+  n : int64;
+  e : int64;
+  d : int64;
+}
+
+type public_key = {
+  pub_n : int64;
+  pub_e : int64;
+}
+
+(* Modular arithmetic on int64 via shift-and-add to avoid overflow:
+   n < 2^62, so (acc + acc) and (acc + b) stay below 2^63. *)
+let add_mod a b m = Int64.rem (Int64.add a b) m
+
+let mul_mod a b m =
+  let rec go acc a b =
+    if b = 0L then acc
+    else
+      let acc = if Int64.logand b 1L = 1L then add_mod acc a m else acc in
+      go acc (add_mod a a m) (Int64.shift_right_logical b 1)
+  in
+  go 0L (Int64.rem a m) b
+
+let pow_mod base exp m =
+  let rec go acc base exp =
+    if exp = 0L then acc
+    else
+      let acc = if Int64.logand exp 1L = 1L then mul_mod acc base m else acc in
+      go acc (mul_mod base base m) (Int64.shift_right_logical exp 1)
+  in
+  go 1L (Int64.rem base m) exp
+
+(* Fixed 31-bit primes: protocol model only. *)
+let p = 2147483647L (* 2^31 - 1, Mersenne *)
+let q = 2147483629L
+
+let design_house_keys () =
+  let n = Int64.mul p q in
+  let phi = Int64.mul (Int64.sub p 1L) (Int64.sub q 1L) in
+  let e = 65537L in
+  (* d = e^-1 mod phi by extended Euclid over native ints (phi < 2^62). *)
+  let rec egcd a b = if b = 0L then (a, 1L, 0L)
+    else
+      let g, x, y = egcd b (Int64.rem a b) in
+      (g, y, Int64.sub x (Int64.mul (Int64.div a b) y))
+  in
+  let _, x, _ = egcd e phi in
+  let d = Int64.rem (Int64.add (Int64.rem x phi) phi) phi in
+  { n; e; d }
+
+let public_of kp = { pub_n = kp.n; pub_e = kp.e }
+
+type activation = {
+  chip_id : int64;
+  user_key : Key_mgmt.user_key;
+  signature : int64;
+}
+
+(* A toy digest binding chip id, mode and key bits, reduced mod n. *)
+let digest ~n ~chip_id (uk : Key_mgmt.user_key) =
+  let h = ref 0xCBF29CE484222325L in
+  let feed v =
+    h := Int64.logxor !h v;
+    h := Int64.mul !h 0x100000001B3L
+  in
+  feed chip_id;
+  feed uk.Key_mgmt.key_bits;
+  String.iter (fun c -> feed (Int64.of_int (Char.code c))) uk.Key_mgmt.standard;
+  Int64.rem (Int64.logand !h Int64.max_int) n
+
+let issue kp ~chip_id user_key =
+  let m = digest ~n:kp.n ~chip_id user_key in
+  { chip_id; user_key; signature = pow_mod m kp.d kp.n }
+
+let verify pub act =
+  let m = digest ~n:pub.pub_n ~chip_id:act.chip_id act.user_key in
+  pow_mod act.signature pub.pub_e pub.pub_n = m
+
+let accept pub ~expected_chip_id act =
+  if act.chip_id <> expected_chip_id then Error "activation bound to a different die"
+  else if not (verify pub act) then Error "invalid design-house signature"
+  else Ok act.user_key

@@ -1,0 +1,38 @@
+(** Remote activation for high-volume production (paper Section IV-B.4).
+
+    When calibration must run at an untrusted test facility, the
+    design house activates chips remotely using asymmetric cryptography
+    (the EPIC-style flow of reference [15]): the die identifies itself
+    with a PUF response, the design house returns the user key together
+    with a signature binding it to that die, and the chip's boot ROM
+    (which embeds only the design house's public key) verifies the
+    signature before accepting the key.  The facility can neither forge
+    activations for overproduced dice nor transplant an activation onto
+    a different die.
+
+    The RSA here uses 31-bit primes — a protocol model, NOT
+    cryptographically strong (documented substitution in DESIGN.md). *)
+
+type keypair
+type public_key
+
+val design_house_keys : unit -> keypair
+(** Deterministic demo keypair (fixed primes). *)
+
+val public_of : keypair -> public_key
+
+type activation = {
+  chip_id : int64;        (** PUF response presented by the die *)
+  user_key : Key_mgmt.user_key;
+  signature : int64;
+}
+
+val issue : keypair -> chip_id:int64 -> Key_mgmt.user_key -> activation
+(** Design house side: sign (chip id, user key). *)
+
+val verify : public_key -> activation -> bool
+(** Chip side: check the signature binds this user key to this die. *)
+
+val accept : public_key -> expected_chip_id:int64 -> activation -> (Key_mgmt.user_key, string) result
+(** Full boot-ROM check: signature valid and chip id matches the die's
+    own PUF response. *)

@@ -1,0 +1,27 @@
+type t = {
+  standard : string;
+  chip_seed : int;
+  config : Rfchain.Config.t;
+}
+
+let make ~standard ~chip config =
+  {
+    standard = standard.Rfchain.Standards.name;
+    chip_seed = Circuit.Process.seed chip;
+    config;
+  }
+
+let config t = t.config
+let bits t = Rfchain.Config.to_bits t.config
+let key_width = Rfchain.Config.key_bits
+let equal a b = a.standard = b.standard && a.chip_seed = b.chip_seed && Rfchain.Config.equal a.config b.config
+let hamming_distance a b = Rfchain.Config.hamming_distance a.config b.config
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>key for %s (die %d): 0x%016Lx@,%a@]" t.standard t.chip_seed
+    (Rfchain.Config.to_bits t.config) Rfchain.Config.pp t.config
+
+let unlocks _t measurement standard =
+  (Metrics.Spec.check standard measurement).Metrics.Spec.functional
+
+let search_space = 2.0 ** 64.0

@@ -1,0 +1,31 @@
+(** Secret keys of the programmability-fabric locking scheme.
+
+    The paper's central idea (Section IV-A): the programming bits that
+    configure the analog section {e are} the key bits, and each
+    configuration setting — per standard, per die — is a secret key.
+    No extra circuitry exists: an invalid key is simply a configuration
+    under which the receiver does not meet its specifications. *)
+
+type t = {
+  standard : string;              (** operation mode this key unlocks *)
+  chip_seed : int;                (** die the key was calibrated for *)
+  config : Rfchain.Config.t;      (** the 64 programming bits *)
+}
+
+val make : standard:Rfchain.Standards.t -> chip:Circuit.Process.chip -> Rfchain.Config.t -> t
+
+val config : t -> Rfchain.Config.t
+val bits : t -> int64
+val key_width : int
+(** 64 key bits, the case study's width. *)
+
+val equal : t -> t -> bool
+val hamming_distance : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val unlocks : t -> Metrics.Spec.measurement -> Rfchain.Standards.t -> bool
+(** Whether measurements taken under this key meet the standard's
+    specification — the operational definition of "unlocked". *)
+
+val search_space : float
+(** 2^64 as a float, for attack-cost arithmetic. *)

@@ -1,0 +1,73 @@
+let config_to_hex config = Printf.sprintf "%016Lx" (Rfchain.Config.to_bits config)
+
+let is_hex_digit c =
+  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let config_of_hex s =
+  if String.length s <> 16 then Error (Printf.sprintf "expected 16 hex digits, got %d" (String.length s))
+  else if not (String.for_all is_hex_digit s) then Error ("invalid hex digits in " ^ s)
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some bits -> Ok (Rfchain.Config.of_bits bits)
+    | None -> Error ("unparsable hex word " ^ s)
+
+type record = {
+  chip_seed : int;
+  entries : (string * Rfchain.Config.t) list;
+}
+
+let record_of_keys keys =
+  match keys with
+  | [] -> Error "no keys to record"
+  | first :: _ ->
+    let seed = first.Key.chip_seed in
+    if List.exists (fun k -> k.Key.chip_seed <> seed) keys then
+      Error "keys belong to different dice"
+    else if
+      List.length (List.sort_uniq compare (List.map (fun k -> k.Key.standard) keys))
+      <> List.length keys
+    then Error "duplicate standard in key set"
+    else
+      Ok { chip_seed = seed; entries = List.map (fun k -> (k.Key.standard, Key.config k)) keys }
+
+let to_image r =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "# analoglock provisioning record\n";
+  Buffer.add_string buffer (Printf.sprintf "die %d\n" r.chip_seed);
+  List.iter
+    (fun (standard, config) ->
+      Buffer.add_string buffer (Printf.sprintf "%s=%s\n" standard (config_to_hex config)))
+    r.entries;
+  Buffer.contents buffer
+
+let of_image text =
+  let lines = String.split_on_char '\n' text in
+  let rec parse seen_die entries line_no = function
+    | [] -> (
+      match seen_die with
+      | Some chip_seed -> Ok { chip_seed; entries = List.rev entries }
+      | None -> Error "missing 'die <seed>' header")
+    | line :: rest ->
+      let line_no = line_no + 1 in
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then parse seen_die entries line_no rest
+      else if String.length trimmed > 4 && String.sub trimmed 0 4 = "die " then (
+        match int_of_string_opt (String.trim (String.sub trimmed 4 (String.length trimmed - 4))) with
+        | Some seed when seen_die = None -> parse (Some seed) entries line_no rest
+        | Some _ -> Error (Printf.sprintf "line %d: duplicate die header" line_no)
+        | None -> Error (Printf.sprintf "line %d: bad die seed" line_no))
+      else
+        match String.index_opt trimmed '=' with
+        | None -> Error (Printf.sprintf "line %d: expected <standard>=<hex>" line_no)
+        | Some eq ->
+          let standard = String.sub trimmed 0 eq in
+          let hex = String.sub trimmed (eq + 1) (String.length trimmed - eq - 1) in
+          if standard = "" then Error (Printf.sprintf "line %d: empty standard name" line_no)
+          else if List.mem_assoc standard entries then
+            Error (Printf.sprintf "line %d: duplicate standard %s" line_no standard)
+          else (
+            match config_of_hex (String.trim hex) with
+            | Ok config -> parse seen_die ((standard, config) :: entries) line_no rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" line_no e))
+  in
+  parse None [] 0 lines

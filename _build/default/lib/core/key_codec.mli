@@ -1,0 +1,27 @@
+(** Serialization of keys and provisioning records.
+
+    The design house's secure database and the provisioning flow need a
+    durable representation of configuration settings.  Keys serialise
+    to 16-digit hex words; a provisioning record is a line-oriented
+    text image ("die <seed>" header, one "<standard>=<hex>" line per
+    mode, '#' comments), with strict, total parsing. *)
+
+val config_to_hex : Rfchain.Config.t -> string
+(** 16 lowercase hex digits, no prefix. *)
+
+val config_of_hex : string -> (Rfchain.Config.t, string) result
+(** Strict inverse: exactly 16 hex digits. *)
+
+type record = {
+  chip_seed : int;
+  entries : (string * Rfchain.Config.t) list;
+}
+
+val record_of_keys : Key.t list -> (record, string) result
+(** All keys must belong to the same die. *)
+
+val to_image : record -> string
+(** Render the provisioning image. *)
+
+val of_image : string -> (record, string) result
+(** Parse an image; reports the offending line on failure. *)

@@ -1,0 +1,34 @@
+type scheme =
+  | Tamper_proof_lut of Lut_memory.t
+  | Puf_xor of Puf.t
+
+type user_key = {
+  standard : string;
+  key_bits : int64;
+}
+
+let provision_lut keys =
+  let entries = List.map (fun k -> (k.Key.standard, Key.config k)) keys in
+  Tamper_proof_lut (Lut_memory.provision entries)
+
+let provision_puf chip keys =
+  let puf = Puf.enroll chip in
+  let user_key k =
+    let response = Puf.response_for_standard puf ~standard:k.Key.standard in
+    { standard = k.Key.standard; key_bits = Int64.logxor response (Key.bits k) }
+  in
+  (Puf_xor puf, List.map user_key keys)
+
+let power_on scheme ?(user_keys = []) ~standard () =
+  match scheme with
+  | Tamper_proof_lut lut -> (
+    match Lut_memory.select lut ~standard with
+    | Ok config -> Ok config
+    | Error Lut_memory.Tamper_response_triggered -> Error "tamper response triggered"
+    | Error Lut_memory.Not_provisioned -> Error ("no configuration for mode " ^ standard))
+  | Puf_xor puf -> (
+    match List.find_opt (fun k -> k.standard = standard) user_keys with
+    | None -> Error ("no user key supplied for mode " ^ standard)
+    | Some k ->
+      let response = Puf.response_for_standard puf ~standard in
+      Ok (Rfchain.Config.of_bits (Int64.logxor response k.key_bits)))

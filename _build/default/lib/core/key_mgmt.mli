@@ -1,0 +1,33 @@
+(** Key management schemes (paper Fig. 3) and the power-on flow.
+
+    Two provisioning options protect the configuration settings on the
+    die: a tamper-proof LUT holding them directly (Fig. 3a), or a PUF
+    whose responses are XORed with user-held keys (Fig. 3b).  The PUF
+    scheme additionally resists recycling: the user keys must be loaded
+    at every power-on, so a chip pulled from e-waste is inert. *)
+
+type scheme =
+  | Tamper_proof_lut of Lut_memory.t
+  | Puf_xor of Puf.t   (** user keys live off-chip, supplied at power-on *)
+
+type user_key = {
+  standard : string;
+  key_bits : int64;    (** PUF-response-masked configuration word *)
+}
+
+val provision_lut : Key.t list -> scheme
+(** Fig. 3a: write the calibrated settings into tamper-proof memory. *)
+
+val provision_puf : Circuit.Process.chip -> Key.t list -> scheme * user_key list
+(** Fig. 3b: enrol the PUF and derive the user keys handed to the
+    customer ([user_key = response XOR configuration]). *)
+
+val power_on :
+  scheme ->
+  ?user_keys:user_key list ->
+  standard:string ->
+  unit ->
+  (Rfchain.Config.t, string) result
+(** The chip's power-on sequence: recover and load the programming bits
+    for the selected mode.  The PUF scheme fails without the matching
+    user key — which is the recycling countermeasure. *)

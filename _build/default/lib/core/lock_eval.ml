@@ -1,0 +1,61 @@
+type key_result = {
+  index : int;
+  config : Rfchain.Config.t;
+  snr_mod_db : float;
+  snr_rx_db : float;
+}
+
+type t = {
+  correct : key_result;
+  invalid : key_result list;
+}
+
+let measure_key bench ~with_rx ~index config =
+  let snr_mod_db = Metrics.Measure.snr_mod_db bench config in
+  let snr_rx_db = if with_rx then Metrics.Measure.snr_rx_db bench config else nan in
+  { index; config; snr_mod_db; snr_rx_db }
+
+let evaluate ?(n_invalid = 100) ?(seed = 2020) ?(with_rx = true) rx ~correct () =
+  let bench = Metrics.Measure.create rx in
+  let rng = Sigkit.Rng.create seed in
+  let correct_result = measure_key bench ~with_rx ~index:(-1) correct in
+  let invalid =
+    List.init n_invalid (fun index ->
+        measure_key bench ~with_rx ~index (Rfchain.Config.random rng))
+  in
+  { correct = correct_result; invalid }
+
+let best_invalid t =
+  match t.invalid with
+  | [] -> invalid_arg "Lock_eval.best_invalid: empty ensemble"
+  | first :: rest ->
+    List.fold_left (fun acc r -> if r.snr_mod_db > acc.snr_mod_db then r else acc) first rest
+
+let is_open_loop_passthrough (config : Rfchain.Config.t) =
+  (not config.fb_enable) && not config.comp_clock_enable
+
+type summary = {
+  correct_snr_mod_db : float;
+  correct_snr_rx_db : float;
+  max_invalid_snr_mod_db : float;
+  max_invalid_snr_rx_db : float;
+  invalid_below_0db : int;
+  invalid_above_10db_mod : int;
+  margin_mod_db : float;
+  margin_rx_db : float;
+}
+
+let summarize t =
+  let max_by f = List.fold_left (fun acc r -> Float.max acc (f r)) neg_infinity t.invalid in
+  let max_mod = max_by (fun r -> r.snr_mod_db) in
+  let max_rx = max_by (fun r -> r.snr_rx_db) in
+  {
+    correct_snr_mod_db = t.correct.snr_mod_db;
+    correct_snr_rx_db = t.correct.snr_rx_db;
+    max_invalid_snr_mod_db = max_mod;
+    max_invalid_snr_rx_db = max_rx;
+    invalid_below_0db = List.length (List.filter (fun r -> r.snr_mod_db < 0.0) t.invalid);
+    invalid_above_10db_mod = List.length (List.filter (fun r -> r.snr_mod_db > 10.0) t.invalid);
+    margin_mod_db = t.correct.snr_mod_db -. max_mod;
+    margin_rx_db = t.correct.snr_rx_db -. max_rx;
+  }

@@ -1,0 +1,54 @@
+(** Locking-efficiency evaluation (paper Section VI-A).
+
+    Applies the correct key and an ensemble of random invalid keys to a
+    die and measures the SNR at the modulator output and at the receiver
+    output — the data behind Fig. 7 and Fig. 9.  Also identifies
+    "deceptive" invalid keys: words that score a respectable SNR at the
+    modulator output because the loop is open and the comparator
+    buffered (the analog signal sneaks through undigitized), yet
+    collapse once the digital section slices them (Fig. 8/9/10). *)
+
+type key_result = {
+  index : int;                 (** 0-based position in the ensemble *)
+  config : Rfchain.Config.t;
+  snr_mod_db : float;
+  snr_rx_db : float;
+}
+
+type t = {
+  correct : key_result;        (** index -1 *)
+  invalid : key_result list;   (** ensemble order *)
+}
+
+val evaluate :
+  ?n_invalid:int ->
+  ?seed:int ->
+  ?with_rx:bool ->
+  Rfchain.Receiver.t ->
+  correct:Rfchain.Config.t ->
+  unit ->
+  t
+(** [evaluate rx ~correct ()] measures the correct key and [n_invalid]
+    (default 100) seeded random keys.  [with_rx] (default true) also
+    measures the receiver-output SNR (Fig. 9); switching it off halves
+    the cost for modulator-only studies. *)
+
+val best_invalid : t -> key_result
+(** The invalid key with the highest modulator-output SNR — the
+    "deceptive" key the paper labels index 7. *)
+
+val is_open_loop_passthrough : Rfchain.Config.t -> bool
+(** The deceptive signature: feedback open and comparator buffered. *)
+
+type summary = {
+  correct_snr_mod_db : float;
+  correct_snr_rx_db : float;
+  max_invalid_snr_mod_db : float;
+  max_invalid_snr_rx_db : float;
+  invalid_below_0db : int;
+  invalid_above_10db_mod : int;
+  margin_mod_db : float;   (** correct minus best invalid, modulator tap *)
+  margin_rx_db : float;
+}
+
+val summarize : t -> summary

@@ -1,0 +1,25 @@
+type t = { rng_root : Sigkit.Rng.t }
+
+let enroll chip = { rng_root = Circuit.Process.noise_stream chip ~name:"puf.entropy" }
+
+let response t ~challenge =
+  let stream = Sigkit.Rng.split t.rng_root (Printf.sprintf "challenge:%d" challenge) in
+  Sigkit.Rng.bits64 stream
+
+let challenge_of_standard standard =
+  (* Conventional, public mapping from mode name to challenge index. *)
+  Hashtbl.hash standard
+
+let response_for_standard t ~standard = response t ~challenge:(challenge_of_standard standard)
+
+let popcount64 x =
+  let rec go x acc = if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+  go x 0
+
+let uniqueness a b =
+  let challenges = 64 in
+  let total = ref 0 in
+  for c = 0 to challenges - 1 do
+    total := !total + popcount64 (Int64.logxor (response a ~challenge:c) (response b ~challenge:c))
+  done;
+  float_of_int !total /. float_of_int (challenges * 64)

@@ -1,0 +1,31 @@
+(** Physical Unclonable Function (key-management scheme of Fig. 3b).
+
+    A per-die challenge-response function rooted in manufacturing
+    entropy: the same challenge gives the same response on the same die
+    and an unrelated response on any other die.  The behavioural model
+    derives responses from the die's process-variation identity — the
+    same entropy source a silicon PUF would harvest — so clones
+    (identical layout, different dice) produce different responses.
+
+    In the Fig. 3b scheme the design house measures the responses once
+    (enrolment), XORs them with the secret configuration settings and
+    hands the resulting user keys to the customer: at every power-on
+    the chip XORs user key and response to recover the programming
+    bits.  Neither the user keys nor the responses alone reveal the
+    configuration. *)
+
+type t
+
+val enroll : Circuit.Process.chip -> t
+(** Harvest the die's entropy (factory enrolment). *)
+
+val response : t -> challenge:int -> int64
+(** Stable per-die response to a challenge. *)
+
+val response_for_standard : t -> standard:string -> int64
+(** The scheme assigns one challenge per configuration setting; this is
+    the conventional challenge derived from the mode name. *)
+
+val uniqueness : t -> t -> float
+(** Mean inter-die response Hamming distance over a challenge sample,
+    as a fraction (ideal 0.5). *)

@@ -1,0 +1,40 @@
+(** Threat scenarios and countermeasure outcomes (paper Section IV-C).
+
+    Each scenario exercises real chips through the public measurement
+    path and reports whether the counterfeit/abuse attempt produces a
+    usable part.  The paper's claims: cloning, overproduction and
+    remarking are defeated by either key-management scheme; recycling
+    is defeated only by the PUF scheme with per-power-on key load. *)
+
+type outcome = {
+  scenario : string;
+  attacker_success : bool;
+  detail : string;
+}
+
+val cloning : ?seed:int -> ?lot:int -> Rfchain.Standards.t -> golden_key:Key.t -> outcome
+(** An adversary fabricates an identical layout.  Primary outcome (the
+    paper's claim): without any key the clone fails spec.  Secondary
+    statistic in [detail]: how often a key stolen from a legitimate die
+    happens to work across a [lot] of clone dice — per-die process
+    variations make this hit-or-miss rather than reliable. *)
+
+val overproduction :
+  fabricated:int ->
+  provisioned:int ->
+  outcome
+(** The untrusted foundry runs extra wafers; only dice the design house
+    activates are usable. *)
+
+val recycling : Rfchain.Standards.t -> seed:int -> key:Key.t -> outcome * outcome
+(** A used chip resold as new, once under the LUT scheme (succeeds:
+    the key travels with the part) and once under the PUF scheme with
+    power-on key load (fails without the customer's user keys). *)
+
+val remarking : Rfchain.Standards.t -> seed:int -> outcome
+(** A failing die remarked as passing by the test facility: the design
+    house loads a scrap configuration, leaving the part inert. *)
+
+val evaluate_config : Rfchain.Standards.t -> seed:int -> Rfchain.Config.t -> bool
+(** Whether a configuration meets the standard's spec on die [seed]
+    (helper shared by the scenarios; one SNR trial per call). *)

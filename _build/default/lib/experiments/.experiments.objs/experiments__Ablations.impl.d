@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Calibration Circuit Context List Metrics Printf Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/experiments/aging_study.ml: Calibration Circuit Context List Metrics Printf Rfchain

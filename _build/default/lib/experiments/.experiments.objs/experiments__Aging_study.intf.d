@@ -1,0 +1,1 @@
+lib/experiments/aging_study.mli: Context

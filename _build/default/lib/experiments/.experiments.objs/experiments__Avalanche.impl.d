@@ -1,0 +1,1 @@
+lib/experiments/avalanche.ml: Context Float Hashtbl Int64 List Metrics Printf Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/experiments/avalanche.mli: Context

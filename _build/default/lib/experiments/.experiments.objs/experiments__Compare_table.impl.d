@@ -1,0 +1,1 @@
+lib/experiments/compare_table.ml: Baselines Context Core Format List Netlist Printf Sigkit

@@ -1,0 +1,1 @@
+lib/experiments/compare_table.mli: Baselines Context Core

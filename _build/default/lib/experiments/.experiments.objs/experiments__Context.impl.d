@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Calibration Circuit Core List Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Ascii_plot Context Float List Metrics Printf Rfchain Sigkit

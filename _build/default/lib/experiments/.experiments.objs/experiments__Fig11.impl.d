@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Ascii_plot Context Float List Metrics Printf

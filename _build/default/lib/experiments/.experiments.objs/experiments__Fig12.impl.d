@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Ascii_plot Context List Metrics Printf Rfchain

@@ -1,0 +1,1 @@
+lib/experiments/fig7_fig9.mli: Context Core

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Ascii_plot Context Float List Metrics Printf

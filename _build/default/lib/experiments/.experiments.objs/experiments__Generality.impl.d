@@ -1,0 +1,1 @@
+lib/experiments/generality.ml: Afe Circuit List Printf Sigkit

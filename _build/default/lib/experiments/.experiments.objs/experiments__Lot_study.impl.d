@@ -1,0 +1,1 @@
+lib/experiments/lot_study.ml: Calibration Circuit Core List Metrics Printf Rfchain

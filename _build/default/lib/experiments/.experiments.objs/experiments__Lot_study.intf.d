@@ -1,0 +1,1 @@
+lib/experiments/lot_study.mli: Rfchain

@@ -1,0 +1,1 @@
+lib/experiments/onchip_lock.ml: Array Calibration Context Float List Metrics Netlist Printf Rfchain Sigkit

@@ -1,0 +1,1 @@
+lib/experiments/onchip_lock.mli: Context

@@ -1,0 +1,1 @@
+lib/experiments/security_table.ml: Attacks Circuit Context Core Format List Printf Rfchain

@@ -1,0 +1,1 @@
+lib/experiments/security_table.mli: Attacks Context

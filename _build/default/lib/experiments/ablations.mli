@@ -1,0 +1,34 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - {b slicing}: disable the digital section's 1-bit input boundary
+      and show the deceptive key would keep its modulator-output SNR
+      through the receiver — i.e. Fig. 9's collapse is the slicing.
+    - {b process variation}: fabricate with variation off and show the
+      golden key transfers between dice, destroying per-chip key
+      uniqueness (Section IV-C's premise).
+      (The capacitor-coding and internal-tap ablations live in
+      {!Security_table}.) *)
+
+type slicing = {
+  deceptive_snr_rx_sliced_db : float;
+  deceptive_snr_rx_unsliced_db : float;
+}
+
+type variation = {
+  transfer_snr_with_variation_db : float;
+  (** die A's key applied to die B, nominal process *)
+  transfer_snr_without_variation_db : float;
+  (** same with variation disabled (ideal process) *)
+  own_snr_db : float;  (** die A's key on die A, reference *)
+}
+
+type t = {
+  slicing : slicing;
+  variation : variation;
+}
+
+val run : Context.t -> t
+
+val checks : Context.t -> t -> (string * bool) list
+
+val print : Context.t -> t -> unit

@@ -1,0 +1,58 @@
+type point = {
+  x : float;
+  y : float;
+  marker : char;
+}
+
+let series ~marker samples = List.map (fun (x, y) -> { x; y; marker }) samples
+
+let bounds points =
+  match points with
+  | [] -> ((0.0, 1.0), (0.0, 1.0))
+  | p :: rest ->
+    List.fold_left
+      (fun ((xl, xh), (yl, yh)) q ->
+        ((Float.min xl q.x, Float.max xh q.x), (Float.min yl q.y, Float.max yh q.y)))
+      ((p.x, p.x), (p.y, p.y))
+      rest
+
+let pad (lo, hi) =
+  if hi -. lo > 1e-12 then (lo, hi) else (lo -. 1.0, hi +. 1.0)
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") ?x_range ?y_range points =
+  let (bx, by) = bounds points in
+  let x_lo, x_hi = pad (Option.value x_range ~default:bx) in
+  let y_lo, y_hi = pad (Option.value y_range ~default:by) in
+  let grid = Array.make_matrix height width ' ' in
+  let place p =
+    let fx = (p.x -. x_lo) /. (x_hi -. x_lo) in
+    let fy = (p.y -. y_lo) /. (y_hi -. y_lo) in
+    if fx >= 0.0 && fx <= 1.0 && fy >= 0.0 && fy <= 1.0 then begin
+      let col = min (width - 1) (int_of_float (fx *. float_of_int (width - 1))) in
+      let row = min (height - 1) (int_of_float (fy *. float_of_int (height - 1))) in
+      grid.(height - 1 - row).(col) <- p.marker
+    end
+  in
+  List.iter place points;
+  let tick_rows = [ 0; height / 2; height - 1 ] in
+  let tick_value display_row =
+    (* display_row 0 is the top of the canvas. *)
+    let fy = float_of_int (height - 1 - display_row) /. float_of_int (height - 1) in
+    y_lo +. (fy *. (y_hi -. y_lo))
+  in
+  let body =
+    List.init height (fun row ->
+        let label =
+          if List.mem row tick_rows then Printf.sprintf "%8.1f |" (tick_value row)
+          else Printf.sprintf "%8s |" ""
+        in
+        label ^ String.init width (fun col -> grid.(row).(col)))
+  in
+  let x_axis = Printf.sprintf "%8s +%s" "" (String.make width '-') in
+  let x_caption =
+    Printf.sprintf "%8s  %-*.*f%*s%.*f   %s" "" 12 1 x_lo (width - 24) "" 1 x_hi x_label
+  in
+  let header = if y_label = "" then [] else [ Printf.sprintf "%8s %s" "" y_label ] in
+  header @ body @ [ x_axis; x_caption ]
+
+let print lines = List.iter print_endline lines

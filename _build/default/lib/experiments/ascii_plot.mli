@@ -1,0 +1,31 @@
+(** Terminal rendering for the reproduced figures.
+
+    A minimal scatter/series canvas: points are placed on a
+    width x height character grid with linear axes, later markers
+    overwrite earlier ones, and the frame carries y-axis ticks and an
+    x-axis label.  Enough to eyeball every figure of the paper straight
+    from the CLI. *)
+
+type point = {
+  x : float;
+  y : float;
+  marker : char;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?x_range:float * float ->
+  ?y_range:float * float ->
+  point list ->
+  string list
+(** [render points] returns the chart lines, top row first.  Ranges
+    default to the data's bounding box (degenerate ranges are padded).
+    Default canvas is 72 x 20 characters plus the frame. *)
+
+val series : marker:char -> (float * float) list -> point list
+(** Convenience: tag a polyline's samples with one marker. *)
+
+val print : string list -> unit

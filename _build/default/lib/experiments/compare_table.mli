@@ -1,0 +1,26 @@
+(** Section II comparison with prior analog locking techniques,
+    quantified through the behavioural baseline models, plus the
+    Section IV-C threat-scenario outcomes. *)
+
+type sat_result = {
+  broken : bool;          (** functionally correct key recovered *)
+  oracle_queries : int;
+  key_bits : int;
+}
+
+type t = {
+  techniques : Baselines.Technique.t list;
+  probes : Baselines.Compare.corruption_probe list;
+  removal : (string * Baselines.Technique.removal_verdict) list;
+  threat_outcomes : Core.Threat_model.outcome list;
+  sat_on_mixlock : sat_result;
+  (** the SAT attack [17] applied to the digital-section lock [9] — the
+      paper's point that it breaks logic locking in a handful of oracle
+      queries while having no analogue against fabric locking *)
+}
+
+val run : ?seed:int -> Context.t -> t
+
+val checks : t -> (string * bool) list
+
+val print : t -> unit

@@ -1,0 +1,20 @@
+(** Figure 10: PSD at the modulator output, correct vs deceptive key.
+
+    The correct key shows the band-pass noise-shaping notch around the
+    carrier — the modulator's defining signature; the deceptive key
+    shows no noise shaping at all. *)
+
+type t = {
+  freqs_hz : float array;          (** bin centres across the spectrum *)
+  correct_psd_db : float array;
+  deceptive_psd_db : float array;
+  notch_depth_correct_db : float;  (** shoulder-to-notch contrast *)
+  notch_depth_deceptive_db : float;
+}
+
+val run : ?points:int -> Context.t -> t
+(** PSDs averaged into [points] display bins (default 96). *)
+
+val checks : t -> (string * bool) list
+
+val print : t -> unit

@@ -1,0 +1,22 @@
+(** Figure 11: SNR versus input power over the three VGLNA gain
+    segments, correct vs deceptive key.
+
+    For the correct key the SNR climbs with input power inside each
+    segment and the segments hand over as the VGLNA gain steps down;
+    the locked (deceptive-key) circuit behaves nothing like that across
+    the whole input range. *)
+
+type t = {
+  correct : Metrics.Dynamic_range.segment list;
+  deceptive : Metrics.Dynamic_range.segment list;
+  dr_correct_db : float;     (** input range meeting the SNR spec *)
+  dr_deceptive_db : float;
+}
+
+val run : ?n_fft:int -> Context.t -> t
+(** [n_fft] is the per-point baseband FFT size (default 1024; 27 sweep
+    points per key). *)
+
+val checks : Context.t -> t -> (string * bool) list
+
+val print : Context.t -> t -> unit

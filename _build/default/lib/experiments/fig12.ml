@@ -1,0 +1,59 @@
+type point = {
+  p_dbm : float;
+  sfdr_correct_db : float;
+  sfdr_deceptive_db : float;
+}
+
+type t = {
+  points : point list;
+  mean_gap_db : float;
+}
+
+let default_powers = [ -40.0; -35.0; -30.0; -25.0; -20.0; -15.0 ]
+
+let run ?(powers = default_powers) (ctx : Context.t) =
+  let deceptive = Context.deceptive_example ctx in
+  let point p_dbm =
+    let bench = Metrics.Measure.create ~p_dbm ctx.Context.rx in
+    {
+      p_dbm;
+      sfdr_correct_db = Metrics.Measure.sfdr_db bench ctx.Context.golden;
+      sfdr_deceptive_db = Metrics.Measure.sfdr_db bench deceptive;
+    }
+  in
+  let points = List.map point powers in
+  let gaps = List.map (fun p -> p.sfdr_correct_db -. p.sfdr_deceptive_db) points in
+  {
+    points;
+    mean_gap_db = List.fold_left ( +. ) 0.0 gaps /. float_of_int (max 1 (List.length gaps));
+  }
+
+let checks (ctx : Context.t) t =
+  let spec = ctx.Context.standard.Rfchain.Standards.min_sfdr_db in
+  let at_25 = List.find_opt (fun p -> p.p_dbm = -25.0) t.points in
+  [
+    ( "correct key meets the SFDR spec at -25 dBm",
+      match at_25 with
+      | Some p -> p.sfdr_correct_db >= spec
+      | None -> false );
+    ( "locked circuit misses the SFDR spec at -25 dBm",
+      match at_25 with
+      | Some p -> p.sfdr_deceptive_db < spec
+      | None -> false );
+    ("locked SFDR is much lower on average (> 10 dB gap)", t.mean_gap_db > 10.0);
+  ]
+
+let print ctx t =
+  Printf.printf "# Fig. 12 — two-tone SFDR (tones 10 MHz apart, equal power)\n";
+  Printf.printf "# p_dbm  sfdr_correct_db  sfdr_locked_db\n";
+  List.iter
+    (fun p -> Printf.printf "%7.1f  %15.2f  %14.2f\n" p.p_dbm p.sfdr_correct_db p.sfdr_deceptive_db)
+    t.points;
+  Printf.printf "\nSFDR vs input power (o = correct, x = locked)\n";
+  Ascii_plot.print
+    (Ascii_plot.render ~height:14 ~x_label:"tone power (dBm)" ~y_label:"SFDR (dB)"
+       (Ascii_plot.series ~marker:'o' (List.map (fun p -> (p.p_dbm, p.sfdr_correct_db)) t.points)
+       @ Ascii_plot.series ~marker:'x' (List.map (fun p -> (p.p_dbm, p.sfdr_deceptive_db)) t.points)));
+  Printf.printf "mean SFDR gap: %.1f dB\n" t.mean_gap_db;
+  List.iter (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+    (checks ctx t)

@@ -1,0 +1,23 @@
+(** Figure 12: two-tone SFDR, correct vs deceptive key.
+
+    Two equal-power tones 10 MHz apart; SFDR is fundamental minus the
+    strongest in-band spur.  Swept across tone power: the locked
+    circuit's SFDR is far below the correct key's everywhere. *)
+
+type point = {
+  p_dbm : float;
+  sfdr_correct_db : float;
+  sfdr_deceptive_db : float;
+}
+
+type t = {
+  points : point list;
+  mean_gap_db : float;   (** mean correct-minus-deceptive SFDR *)
+}
+
+val run : ?powers:float list -> Context.t -> t
+(** Default powers: -40 to -15 dBm in 5 dB steps. *)
+
+val checks : Context.t -> t -> (string * bool) list
+
+val print : Context.t -> t -> unit

@@ -1,0 +1,23 @@
+(** Figures 7 and 9: SNR under the correct key and 100 random invalid
+    keys, at the modulator output (Fig. 7) and at the receiver output
+    (Fig. 9).
+
+    Expected shape (paper): correct key above 40 dB at both taps; all
+    invalid keys below 30 dB at the modulator output, most below 0 dB,
+    a handful above 10 dB; the best invalid ("deceptive") key loses its
+    advantage at the receiver output, where every invalid key sits
+    below 10 dB. *)
+
+type t = {
+  eval : Core.Lock_eval.t;
+  deceptive : Core.Lock_eval.key_result;  (** the paper's "index 7" key *)
+  summary : Core.Lock_eval.summary;
+}
+
+val run : ?n_invalid:int -> Context.t -> t
+
+val checks : t -> (string * bool) list
+(** The paper's qualitative claims as named pass/fail checks. *)
+
+val print : t -> unit
+(** Emit both figures' data series (index vs SNR) and the summary. *)

@@ -1,0 +1,19 @@
+(** Figure 8: transient modulator output, correct vs deceptive key.
+
+    The correct key yields an oversampled +-1 bitstream; the deceptive
+    key (open loop, comparator buffered) passes the analog waveform
+    through without analog-to-digital conversion. *)
+
+type t = {
+  correct_samples : float array;    (** steady-state window *)
+  deceptive_samples : float array;
+  correct_is_bitstream : bool;
+  deceptive_is_analog : bool;
+}
+
+val run : ?window:int -> Context.t -> t
+(** [window] samples from the steady-state output (default 64). *)
+
+val checks : t -> (string * bool) list
+
+val print : t -> unit

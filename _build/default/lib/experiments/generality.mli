@@ -1,0 +1,25 @@
+(** Generality of fabric locking: the second case study.
+
+    The paper's claim targets the whole class of highly-programmable
+    analog ICs (Section IV-A).  This experiment repeats the locking
+    evaluation on a completely different circuit — the 24-bit
+    programmable baseband AFE of {!Afe} — with its own calibration
+    algorithm and specifications: the calibrated key unlocks, random
+    keys break at least one performance, and keys stay per-die. *)
+
+type t = {
+  calibrated : Afe.Afe_calibrate.report;
+  random_keys : (Afe.Afe_config.t * Afe.Afe_chain.measurement * bool) list;
+  (** (key, measurement, in-spec) for the random ensemble *)
+  transfer_in_spec : bool;   (** this die's key on a second die *)
+  invalid_in_spec : int;
+}
+
+val run : ?n_invalid:int -> ?seed:int -> unit -> t
+(** Fabricate an AFE die (default seed 9001), calibrate, evaluate
+    [n_invalid] (default 40) random 24-bit keys, and try the key on a
+    sibling die. *)
+
+val checks : t -> (string * bool) list
+
+val print : t -> unit

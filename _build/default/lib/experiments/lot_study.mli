@@ -1,0 +1,47 @@
+(** Production-lot Monte-Carlo study.
+
+    The paper's premise (Section III): process variations make the
+    calibrated configuration settings unique per chip — which is what
+    turns them into per-device secret keys (Section IV).  This study
+    quantifies that premise over a lot of dice:
+
+    - {b calibrated yield}: every die must reach specification with its
+      own calibrated key (the programmability exists to absorb process
+      variations);
+    - {b uncalibrated yield}: how many dice a single fixed
+      (lot-median) configuration would satisfy — low, which is both
+      why calibration exists and why a stolen key does not amount to a
+      product;
+    - {b key uniqueness}: pairwise Hamming distances between the lot's
+      keys and per-field code spreads;
+    - {b transfer matrix}: how often die i's key unlocks die j. *)
+
+type per_die = {
+  seed : int;
+  key : Rfchain.Config.t;
+  snr_mod_db : float;
+  snr_rx_db : float;
+  sfdr_db : float;
+  in_spec : bool;
+}
+
+type t = {
+  dice : per_die list;
+  calibrated_yield : float;        (** fraction of dice in spec with own key *)
+  median_key : Rfchain.Config.t;   (** per-field median of the lot's keys *)
+  uncalibrated_yield : float;      (** fraction in spec under the median key *)
+  transfer_rate : float;           (** off-diagonal success rate of the matrix *)
+  min_pair_distance : int;         (** smallest pairwise key Hamming distance *)
+  mean_pair_distance : float;
+  field_spread : (string * int) list;
+  (** per tuning field: number of distinct codes across the lot *)
+}
+
+val run : ?lot:int -> ?seed_base:int -> Rfchain.Standards.t -> t
+(** Calibrate [lot] dice (default 8; each full calibration is a few
+    hundred simulated measurements) and compute the statistics.  The
+    transfer matrix evaluates every (key, die) pair. *)
+
+val checks : t -> (string * bool) list
+
+val print : t -> unit

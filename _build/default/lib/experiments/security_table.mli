@@ -1,0 +1,42 @@
+(** Section VI-B security analysis, rendered as a table.
+
+    (a) The projected attack-cost rows at the paper's per-trial times
+    (20 min SNR / 3 h sweep / 30 min SFDR, 2^63 expected trials);
+    (b) empirical attack runs within realistic trial budgets: brute
+    force, simulated annealing, genetic search, the capacitor-sub-key
+    attack, and the internal-tap ablation; (c) the binary-weighted
+    capacitor uniqueness argument. *)
+
+type empirical = {
+  attack : string;
+  trials : int;
+  best_snr_mod_db : float;        (** raw probe maximum (artifact-prone) *)
+  success : bool;                 (** verified full-spec unlock of the attacker's own re-fab die *)
+  transfers : (int * int) option; (** (dice unlocked, lot size) for a successful attack's key *)
+  projected_wall_clock : string;  (** at 20 min/trial, human units *)
+}
+
+type t = {
+  cost_rows : Attacks.Cost.row list;
+  empirical : empirical list;
+  cap_unique_codes : int;         (** codes hitting the target capacitance *)
+  cap_unit_switched_codes : int;  (** same for the unit-switched ablation *)
+  remaining_bits_after_tap : int;
+}
+
+val run : ?budget:int -> ?attacker_seed:int -> Context.t -> t
+(** [budget] trials per empirical attack (default 400).
+
+    The paper's §IV-B.3 logic chain is reproduced faithfully: an
+    attacker with a re-fabricated die and fast hardware trials *can*
+    eventually land a key for that one die (it amounts to re-deriving a
+    calibration for their own silicon); what defeats piracy is that the
+    key does not transfer — per-die process variations make every
+    fielded chip need its own key, and fielded chips do not expose
+    their programming bits.  Any empirically successful attack is
+    therefore followed by a key-transfer trial across a lot of fresh
+    dice. *)
+
+val checks : t -> (string * bool) list
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/metrics/dynamic_range.mli:

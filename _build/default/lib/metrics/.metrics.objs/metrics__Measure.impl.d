@@ -1,0 +1,1 @@
+lib/metrics/measure.ml: Float Rfchain Sfdr Sigkit Snr Spec

@@ -1,0 +1,1 @@
+lib/metrics/measure.mli: Rfchain Spec

@@ -1,0 +1,1 @@
+lib/metrics/sfdr.ml: Array Float List Sigkit Snr

@@ -1,0 +1,1 @@
+lib/metrics/snr.ml: Array Float Sigkit

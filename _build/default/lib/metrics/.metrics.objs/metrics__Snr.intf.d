@@ -1,0 +1,1 @@
+lib/metrics/snr.mli:

@@ -1,0 +1,47 @@
+type point = {
+  p_dbm : float;
+  gain_code : int;
+  snr_db : float;
+}
+
+type segment = {
+  label : string;
+  lo_dbm : float;
+  hi_dbm : float;
+  segment_gain_code : int;
+  points : point list;
+}
+
+let segments =
+  [
+    ("high-gain [-85:-45]", -85.0, -45.0, 14);
+    ("mid-gain  [-60:-20]", -60.0, -20.0, 9);
+    ("low-gain  [-40:0]", -40.0, 0.0, 3);
+  ]
+
+let step_dbm = 5.0
+
+let sweep ~measure =
+  let run_segment (label, lo_dbm, hi_dbm, gain_code) =
+    let n_points = int_of_float (Float.round ((hi_dbm -. lo_dbm) /. step_dbm)) + 1 in
+    let point i =
+      let p_dbm = lo_dbm +. (step_dbm *. float_of_int i) in
+      { p_dbm; gain_code; snr_db = measure ~p_dbm ~gain_code }
+    in
+    { label; lo_dbm; hi_dbm; segment_gain_code = gain_code; points = List.init n_points point }
+  in
+  List.map run_segment segments
+
+let dynamic_range_db segs ~min_snr_db =
+  let passing =
+    List.concat_map (fun s -> List.filter (fun p -> p.snr_db >= min_snr_db) s.points) segs
+  in
+  match passing with
+  | [] -> 0.0
+  | p :: rest ->
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) q -> (Float.min lo q.p_dbm, Float.max hi q.p_dbm))
+        (p.p_dbm, p.p_dbm) rest
+    in
+    hi -. lo +. step_dbm

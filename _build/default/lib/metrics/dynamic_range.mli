@@ -1,0 +1,34 @@
+(** Dynamic-range characterisation (paper Fig. 11).
+
+    SNR versus input power in 5 dB steps over the three VGLNA gain
+    segments: [-85,-45] dBm at high gain, [-60,-20] at mid gain and
+    [-40,0] at low gain. *)
+
+type point = {
+  p_dbm : float;
+  gain_code : int;
+  snr_db : float;
+}
+
+type segment = {
+  label : string;
+  lo_dbm : float;
+  hi_dbm : float;
+  segment_gain_code : int;
+  points : point list;
+}
+
+val segments : (string * float * float * int) list
+(** The three datasheet segments as (label, lo, hi, gain code). *)
+
+val step_dbm : float
+(** 5 dB, as in the paper. *)
+
+val sweep : measure:(p_dbm:float -> gain_code:int -> float) -> segment list
+(** Run the full Fig. 11 sweep given a measurement callback returning
+    SNR in dB (the callback hides whether an actual chip, a locked chip
+    or an idealised model is being measured). *)
+
+val dynamic_range_db : segment list -> min_snr_db:float -> float
+(** Width (dB) of the input-power region, across all segments, in which
+    the SNR meets [min_snr_db]. *)

@@ -1,0 +1,29 @@
+type measurement = {
+  snr_mod_db : float;
+  snr_rx_db : float;
+  sfdr_db : float option;
+}
+
+type verdict = {
+  snr_ok : bool;
+  sfdr_ok : bool;
+  functional : bool;
+}
+
+let check (standard : Rfchain.Standards.t) m =
+  let snr_ok = m.snr_mod_db >= standard.min_snr_db && m.snr_rx_db >= standard.min_snr_db in
+  let sfdr_ok =
+    match m.sfdr_db with
+    | None -> true
+    | Some sfdr -> sfdr >= standard.min_sfdr_db
+  in
+  { snr_ok; sfdr_ok; functional = snr_ok && sfdr_ok }
+
+let shortfall target value = Float.max 0.0 (target -. value)
+
+let spec_distance (standard : Rfchain.Standards.t) m =
+  shortfall standard.min_snr_db m.snr_mod_db
+  +. shortfall standard.min_snr_db m.snr_rx_db
+  +. (match m.sfdr_db with
+     | None -> 0.0
+     | Some sfdr -> shortfall standard.min_sfdr_db sfdr)

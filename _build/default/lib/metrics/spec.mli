@@ -1,0 +1,22 @@
+(** Performance specifications and pass/fail checking.
+
+    Locking "succeeds when at least one performance violates its
+    specification" (paper Section VI-A); this module is that predicate. *)
+
+type measurement = {
+  snr_mod_db : float;      (** SNR at the modulator output *)
+  snr_rx_db : float;       (** SNR at the receiver output *)
+  sfdr_db : float option;  (** two-tone SFDR when measured *)
+}
+
+type verdict = {
+  snr_ok : bool;
+  sfdr_ok : bool;
+  functional : bool;  (** all measured performances inside spec *)
+}
+
+val check : Rfchain.Standards.t -> measurement -> verdict
+
+val spec_distance : Rfchain.Standards.t -> measurement -> float
+(** Non-negative aggregate shortfall (dB) from the specification — the
+    optimisation attacks' objective; 0 means fully in spec. *)

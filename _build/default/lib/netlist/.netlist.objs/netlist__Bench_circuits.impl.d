@@ -1,0 +1,1 @@
+lib/netlist/bench_circuits.ml: Array Gate List Sigkit

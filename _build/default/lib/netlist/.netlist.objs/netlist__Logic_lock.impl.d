@@ -1,0 +1,1 @@
+lib/netlist/logic_lock.ml: Array Gate Hashtbl List Sigkit

@@ -1,0 +1,1 @@
+lib/netlist/logic_lock.mli: Gate Sigkit

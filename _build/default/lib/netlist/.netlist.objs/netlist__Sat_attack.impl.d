@@ -1,0 +1,1 @@
+lib/netlist/sat_attack.ml: Array Fun Gate List Logic_lock Sigkit

@@ -1,0 +1,1 @@
+lib/netlist/sat_attack.mli: Logic_lock

@@ -1,0 +1,89 @@
+let ripple_adder w =
+  if w < 1 then invalid_arg "ripple_adder: width";
+  let n_inputs = 2 * w in
+  (* Net allocation: inputs, then per-bit [axb; sum; ab; cin&(axb); cout]. *)
+  let next = ref n_inputs in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let gates = ref [] in
+  let emit kind inputs output = gates := { Gate.kind; inputs; output } :: !gates in
+  let sums = ref [] in
+  let carry = ref None in
+  for i = 0 to w - 1 do
+    let a = i and b = w + i in
+    let axb = fresh () in
+    emit Gate.Xor [ a; b ] axb;
+    let ab = fresh () in
+    emit Gate.And [ a; b ] ab;
+    match !carry with
+    | None ->
+      sums := axb :: !sums;
+      carry := Some ab
+    | Some cin ->
+      let sum = fresh () in
+      emit Gate.Xor [ axb; cin ] sum;
+      sums := sum :: !sums;
+      let cin_axb = fresh () in
+      emit Gate.And [ cin; axb ] cin_axb;
+      let cout = fresh () in
+      emit Gate.Or [ ab; cin_axb ] cout;
+      carry := Some cout
+  done;
+  let carry_net =
+    match !carry with
+    | Some c -> c
+    | None -> assert false
+  in
+  {
+    Gate.n_inputs;
+    n_key_inputs = 0;
+    n_nets = !next;
+    gates = List.rev !gates;
+    outputs = List.rev (carry_net :: !sums);
+  }
+
+let decoder w =
+  if w < 1 || w > 6 then invalid_arg "decoder: width";
+  let n_inputs = w in
+  let next = ref n_inputs in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let gates = ref [] in
+  let emit kind inputs output = gates := { Gate.kind; inputs; output } :: !gates in
+  (* Inverted selects. *)
+  let inv = Array.init w (fun i ->
+      let id = fresh () in
+      emit Gate.Not [ i ] id;
+      id)
+  in
+  let outputs =
+    List.init (1 lsl w) (fun code ->
+        let terms = List.init w (fun bit -> if code land (1 lsl bit) <> 0 then bit else inv.(bit)) in
+        let id = fresh () in
+        emit Gate.And terms id;
+        id)
+  in
+  { Gate.n_inputs; n_key_inputs = 0; n_nets = !next; gates = List.rev !gates; outputs }
+
+let random_logic rng ~n_inputs ~n_gates =
+  if n_inputs < 2 || n_gates < 4 then invalid_arg "random_logic: too small";
+  let next = ref n_inputs in
+  let gates = ref [] in
+  let kinds = [| Gate.And; Gate.Or; Gate.Xor; Gate.Nand; Gate.Nor |] in
+  for _ = 1 to n_gates do
+    let output = !next in
+    incr next;
+    let pick () = Sigkit.Rng.int_range rng 0 (output - 1) in
+    let kind = kinds.(Sigkit.Rng.int_range rng 0 (Array.length kinds - 1)) in
+    gates := { Gate.kind; inputs = [ pick (); pick () ]; output } :: !gates
+  done;
+  let n_nets = !next in
+  let n_out = min 4 n_gates in
+  let outputs = List.init n_out (fun i -> n_nets - 1 - i) in
+  { Gate.n_inputs; n_key_inputs = 0; n_nets; gates = List.rev !gates; outputs }

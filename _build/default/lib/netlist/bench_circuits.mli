@@ -1,0 +1,17 @@
+(** Benchmark netlists.
+
+    Small arithmetic/control circuits standing in for the digital
+    section a MixLock-style scheme would lock: a ripple-carry adder, a
+    4:1 decoder tree, and a generator of random well-formed netlists
+    for property tests. *)
+
+val ripple_adder : int -> Gate.t
+(** [ripple_adder w]: two [w]-bit operands (inputs packed a then b),
+    outputs the [w+1]-bit sum.  No key inputs. *)
+
+val decoder : int -> Gate.t
+(** [decoder w]: [w] select inputs, [2^w] one-hot outputs. *)
+
+val random_logic : Sigkit.Rng.t -> n_inputs:int -> n_gates:int -> Gate.t
+(** Random topological netlist with [n_inputs] primary inputs,
+    [n_gates] 2-input gates, and the last four nets as outputs. *)

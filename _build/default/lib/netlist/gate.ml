@@ -1,0 +1,87 @@
+type kind =
+  | And
+  | Or
+  | Xor
+  | Xnor
+  | Nand
+  | Nor
+  | Not
+  | Buf
+
+type gate = {
+  kind : kind;
+  inputs : int list;
+  output : int;
+}
+
+type t = {
+  n_inputs : int;
+  n_key_inputs : int;
+  n_nets : int;
+  gates : gate list;
+  outputs : int list;
+}
+
+let apply kind values =
+  match (kind, values) with
+  | Not, [ a ] -> not a
+  | Buf, [ a ] -> a
+  | And, vs -> List.for_all Fun.id vs
+  | Or, vs -> List.exists Fun.id vs
+  | Nand, vs -> not (List.for_all Fun.id vs)
+  | Nor, vs -> not (List.exists Fun.id vs)
+  | Xor, vs -> List.fold_left ( <> ) false vs
+  | Xnor, vs -> not (List.fold_left ( <> ) false vs)
+  | (Not | Buf), _ -> invalid_arg "Gate.apply: unary gate arity"
+
+let eval t ~key inputs =
+  if Array.length inputs <> t.n_inputs then invalid_arg "Gate.eval: input arity";
+  if Array.length key <> t.n_key_inputs then invalid_arg "Gate.eval: key arity";
+  let nets = Array.make t.n_nets false in
+  Array.blit inputs 0 nets 0 t.n_inputs;
+  Array.blit key 0 nets t.n_inputs t.n_key_inputs;
+  let defined = Array.make t.n_nets false in
+  for i = 0 to t.n_inputs + t.n_key_inputs - 1 do
+    defined.(i) <- true
+  done;
+  let run_gate g =
+    let value = apply g.kind (List.map (fun net ->
+        assert (defined.(net));
+        nets.(net)) g.inputs)
+    in
+    nets.(g.output) <- value;
+    defined.(g.output) <- true
+  in
+  List.iter run_gate t.gates;
+  Array.of_list (List.map (fun net -> nets.(net)) t.outputs)
+
+let validate t =
+  let in_range net = net >= 0 && net < t.n_nets in
+  let defined = Array.make t.n_nets false in
+  for i = 0 to t.n_inputs + t.n_key_inputs - 1 do
+    defined.(i) <- true
+  done;
+  let check_gate acc g =
+    match acc with
+    | Error _ as e -> e
+    | Ok () ->
+      if not (in_range g.output) then Error "gate output out of range"
+      else if List.exists (fun net -> not (in_range net)) g.inputs then
+        Error "gate input out of range"
+      else if List.exists (fun net -> not defined.(net)) g.inputs then
+        Error "gates not in topological order"
+      else if defined.(g.output) then Error "net driven twice"
+      else begin
+        defined.(g.output) <- true;
+        Ok ()
+      end
+  in
+  match List.fold_left check_gate (Ok ()) t.gates with
+  | Error _ as e -> e
+  | Ok () ->
+    if List.for_all (fun net -> in_range net && defined.(net)) t.outputs then Ok ()
+    else Error "undefined primary output"
+
+let gate_count t = List.length t.gates
+
+let random_inputs rng t = Array.init t.n_inputs (fun _ -> Sigkit.Rng.bool rng)

@@ -1,0 +1,41 @@
+(** Gate-level combinational netlists.
+
+    A small but real logic-netlist engine: the substrate for the
+    MixLock-style baselines ([9], [10]) that lock the digital section of
+    a mixed-signal circuit, and for their removal/key attacks.  Nets are
+    integers; gate order must be topological (asserted at evaluation). *)
+
+type kind =
+  | And
+  | Or
+  | Xor
+  | Xnor
+  | Nand
+  | Nor
+  | Not
+  | Buf
+
+type gate = {
+  kind : kind;
+  inputs : int list;   (** net ids *)
+  output : int;        (** net id *)
+}
+
+type t = {
+  n_inputs : int;        (** nets 0 .. n_inputs-1 are primary inputs *)
+  n_key_inputs : int;    (** nets n_inputs .. +n_key_inputs-1 are key inputs *)
+  n_nets : int;
+  gates : gate list;     (** topological order *)
+  outputs : int list;    (** primary-output net ids *)
+}
+
+val eval : t -> key:bool array -> bool array -> bool array
+(** [eval t ~key inputs] computes the primary outputs.  Raises
+    [Invalid_argument] on arity mismatches. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: net ranges, topological order, output defined. *)
+
+val gate_count : t -> int
+
+val random_inputs : Sigkit.Rng.t -> t -> bool array

@@ -1,0 +1,115 @@
+type locked = {
+  circuit : Gate.t;
+  correct_key : bool array;
+  original : Gate.t;
+}
+
+(* Key gate on wire w: w' = XOR(w, k) (transparent at k = 0) or
+   w' = XNOR(w, k) (transparent at k = 1); every consumer of w is
+   rewired to w'. *)
+let lock rng (original : Gate.t) ~key_bits =
+  if original.Gate.n_key_inputs <> 0 then invalid_arg "Logic_lock.lock: already locked";
+  let internal_wires =
+    List.filter_map
+      (fun g ->
+        if List.mem g.Gate.output original.outputs then None else Some g.Gate.output)
+      original.gates
+  in
+  if List.length internal_wires < key_bits then
+    invalid_arg "Logic_lock.lock: not enough internal wires";
+  let chosen =
+    let pool = Array.of_list internal_wires in
+    for i = Array.length pool - 1 downto 1 do
+      let j = Sigkit.Rng.int_range rng 0 i in
+      let tmp = pool.(i) in
+      pool.(i) <- pool.(j);
+      pool.(j) <- tmp
+    done;
+    Array.sub pool 0 key_bits
+  in
+  let correct_key = Array.init key_bits (fun _ -> Sigkit.Rng.bool rng) in
+  (* Net renumbering: key nets occupy n_inputs .. n_inputs+key_bits-1,
+     everything else shifts up. *)
+  let shift net = if net < original.n_inputs then net else net + key_bits in
+  let next = ref (original.n_nets + key_bits) in
+  let replacement = Hashtbl.create (key_bits * 2) in
+  let key_gate_after = Hashtbl.create (key_bits * 2) in
+  Array.iteri
+    (fun i wire ->
+      let wire' = shift wire in
+      let out = !next in
+      incr next;
+      Hashtbl.replace replacement wire' out;
+      let kind = if correct_key.(i) then Gate.Xnor else Gate.Xor in
+      let key_net = original.n_inputs + i in
+      Hashtbl.replace key_gate_after wire'
+        { Gate.kind; inputs = [ wire'; key_net ]; output = out })
+    chosen;
+  let rewire net =
+    let net = shift net in
+    match Hashtbl.find_opt replacement net with
+    | Some replaced -> replaced
+    | None -> net
+  in
+  (* Each original gate keeps its (shifted) output; consumers read the
+     key-gated replacement.  Key gates slot in right after the driver,
+     preserving topological order. *)
+  let gates =
+    List.concat_map
+      (fun g ->
+        let g' =
+          {
+            Gate.kind = g.Gate.kind;
+            inputs = List.map rewire g.Gate.inputs;
+            output = shift g.Gate.output;
+          }
+        in
+        match Hashtbl.find_opt key_gate_after g'.Gate.output with
+        | Some kg -> [ g'; kg ]
+        | None -> [ g' ])
+      original.gates
+  in
+  let circuit =
+    {
+      Gate.n_inputs = original.n_inputs;
+      n_key_inputs = key_bits;
+      n_nets = !next;
+      gates;
+      outputs = List.map rewire original.outputs;
+    }
+  in
+  { circuit; correct_key; original }
+
+let corruption ?(samples = 256) ?(seed = 7) locked ~key =
+  let rng = Sigkit.Rng.create seed in
+  let mismatches = ref 0 in
+  for _ = 1 to samples do
+    let inputs = Gate.random_inputs rng locked.original in
+    let reference = Gate.eval locked.original ~key:[||] inputs in
+    let candidate = Gate.eval locked.circuit ~key inputs in
+    if reference <> candidate then incr mismatches
+  done;
+  float_of_int !mismatches /. float_of_int samples
+
+let oracle_attack ?(samples_per_key = 32) ?(budget = 100_000) ~seed locked =
+  let rng = Sigkit.Rng.create seed in
+  let key_bits = locked.circuit.Gate.n_key_inputs in
+  let rec search trial =
+    if trial > budget then `Exhausted budget
+    else begin
+      let key = Array.init key_bits (fun _ -> Sigkit.Rng.bool rng) in
+      let probe = Sigkit.Rng.create (seed + trial) in
+      let ok = ref true in
+      (try
+         for _ = 1 to samples_per_key do
+           let inputs = Gate.random_inputs probe locked.original in
+           let oracle = Gate.eval locked.original ~key:[||] inputs in
+           if Gate.eval locked.circuit ~key inputs <> oracle then raise Exit
+         done
+       with Exit -> ok := false);
+      if !ok then `Found (key, trial) else search (trial + 1)
+    end
+  in
+  search 1
+
+let removal_attack locked = locked.original

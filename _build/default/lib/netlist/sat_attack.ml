@@ -1,0 +1,96 @@
+type result = {
+  found_key : bool array option;
+  oracle_queries : int;
+  candidates_left : int;
+}
+
+let key_of_int bits n = Array.init bits (fun i -> n land (1 lsl i) <> 0)
+
+let run ?(max_queries = 256) ?(dip_search = 2000) ~seed (locked : Logic_lock.locked) =
+  let key_bits = locked.Logic_lock.circuit.Gate.n_key_inputs in
+  if key_bits > 22 then invalid_arg "Sat_attack.run: key space too large to enumerate";
+  let rng = Sigkit.Rng.create seed in
+  let circuit = locked.Logic_lock.circuit in
+  let oracle inputs = Gate.eval locked.Logic_lock.original ~key:[||] inputs in
+  (* Candidate keys still consistent with every oracle answer so far. *)
+  let alive = Array.make (1 lsl key_bits) true in
+  let alive_count = ref (1 lsl key_bits) in
+  let queries = ref 0 in
+  (* A distinguishing input: some two alive keys disagree on it.  Random
+     vectors find DIPs quickly while many wrong keys survive; when the
+     search dries up the surviving keys are (almost surely) equivalent. *)
+  let rec first_alive i = if alive.(i) then i else first_alive (i + 1) in
+  (* Candidates to test against the reference on each trial vector:
+     random draws while the alive set is dense, an explicit slice of the
+     alive set once it is sparse (random indices would miss it). *)
+  let probe_set () =
+    let space = 1 lsl key_bits in
+    if !alive_count > 1024 then
+      List.init 16 (fun _ -> Sigkit.Rng.int_range rng 0 (space - 1))
+      |> List.filter (fun c -> alive.(c))
+    else begin
+      let collected = ref [] and n = ref 0 in
+      let start = Sigkit.Rng.int_range rng 0 (space - 1) in
+      let i = ref 0 in
+      while !n < 64 && !i < space do
+        let c = (start + !i) mod space in
+        if alive.(c) then begin
+          collected := c :: !collected;
+          incr n
+        end;
+        incr i
+      done;
+      !collected
+    end
+  in
+  let find_dip () =
+    let reference_key = key_of_int key_bits (first_alive 0) in
+    let rec search n =
+      if n = 0 then None
+      else begin
+        let inputs = Gate.random_inputs rng circuit in
+        let reference = Gate.eval circuit ~key:reference_key inputs in
+        let disagrees c = Gate.eval circuit ~key:(key_of_int key_bits c) inputs <> reference in
+        if List.exists disagrees (probe_set ()) then Some inputs else search (n - 1)
+      end
+    in
+    search dip_search
+  in
+  let prune inputs =
+    incr queries;
+    let expected = oracle inputs in
+    for candidate = 0 to (1 lsl key_bits) - 1 do
+      if alive.(candidate) then
+        if Gate.eval circuit ~key:(key_of_int key_bits candidate) inputs <> expected then begin
+          alive.(candidate) <- false;
+          decr alive_count
+        end
+    done
+  in
+  let rec loop () =
+    if !queries >= max_queries || !alive_count <= 1 then ()
+    else
+      match find_dip () with
+      | Some dip ->
+        prune dip;
+        loop ()
+      | None -> ()
+  in
+  loop ();
+  let found_key =
+    if !alive_count >= 1 then begin
+      let key = key_of_int key_bits (first_alive 0) in
+      (* Sanity-verify functional equivalence on fresh vectors. *)
+      let probe = Sigkit.Rng.create (seed + 1) in
+      let equivalent =
+        List.for_all
+          (fun _ ->
+            let inputs = Gate.random_inputs probe circuit in
+            Gate.eval circuit ~key inputs = oracle inputs)
+          (List.init 128 Fun.id)
+      in
+      if equivalent then Some key else None
+    end
+    else None
+  in
+  { found_key; oracle_queries = !queries; candidates_left = !alive_count }

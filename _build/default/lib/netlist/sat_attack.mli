@@ -1,0 +1,36 @@
+(** Oracle-guided key pruning — the SAT attack's semantics
+    (Subramanyan et al., HOST 2015; paper reference [17]).
+
+    The SAT attack iteratively finds a {e distinguishing input pattern}
+    (an input on which two still-candidate keys disagree), queries the
+    unlocked oracle on it, and eliminates every key inconsistent with
+    the observed output; when no distinguishing input remains, any
+    surviving key is functionally correct.  For the key widths used by
+    the digital-section locks modelled here the candidate set fits in
+    memory, so the attack is implemented exactly (explicit candidate
+    enumeration) rather than through a SAT solver — same guarantees,
+    same query behaviour.
+
+    The paper's Section IV-B.1 point falls out directly: the attack
+    needs a combinational oracle relation [output = f(input, key)],
+    which the digital locks of [9]/[10] provide and the
+    programmability-fabric lock does not (its "outputs" are analog
+    performances of a dynamical system, not Boolean functions). *)
+
+type result = {
+  found_key : bool array option;  (** a functionally correct key, if reached *)
+  oracle_queries : int;           (** distinguishing inputs used *)
+  candidates_left : int;          (** functionally equivalent survivors *)
+}
+
+val run :
+  ?max_queries:int ->
+  ?dip_search:int ->
+  seed:int ->
+  Logic_lock.locked ->
+  result
+(** [run ~seed locked] prunes the full key space of [locked] (must be
+    <= 22 key bits).  [dip_search] bounds the random search for each
+    distinguishing input (default 2000 vectors); [max_queries] bounds
+    oracle access (default 256).  Raises [Invalid_argument] for key
+    spaces too large to enumerate. *)

@@ -1,0 +1,1 @@
+lib/rfchain/config.ml: Format Int64 List Printf Sigkit

@@ -1,0 +1,1 @@
+lib/rfchain/config.mli: Format Sigkit

@@ -1,0 +1,1 @@
+lib/rfchain/decimator.ml: Array Float

@@ -1,0 +1,1 @@
+lib/rfchain/mixer.ml: Array

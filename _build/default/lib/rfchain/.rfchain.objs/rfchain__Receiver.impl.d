@@ -1,0 +1,1 @@
+lib/rfchain/receiver.ml: Array Circuit Config Decimator Mixer Sdm Sigkit Standards Vglna

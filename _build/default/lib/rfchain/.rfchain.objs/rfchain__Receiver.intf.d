@@ -1,0 +1,1 @@
+lib/rfchain/receiver.mli: Circuit Config Decimator Sdm Standards

@@ -1,0 +1,1 @@
+lib/rfchain/sdm.ml: Array Circuit Config Float Sigkit

@@ -1,0 +1,1 @@
+lib/rfchain/sdm.mli: Circuit Config

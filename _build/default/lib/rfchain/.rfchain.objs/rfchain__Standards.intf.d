@@ -1,0 +1,1 @@
+lib/rfchain/standards.mli:

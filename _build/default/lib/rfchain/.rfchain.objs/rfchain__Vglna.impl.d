@@ -1,0 +1,1 @@
+lib/rfchain/vglna.ml: Array Circuit Float Printf Sigkit

@@ -1,0 +1,1 @@
+lib/rfchain/vglna.mli: Circuit

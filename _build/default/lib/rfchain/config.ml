@@ -1,0 +1,136 @@
+type t = {
+  vglna_gain : int;
+  cap_coarse : int;
+  cap_fine : int;
+  gm_q : int;
+  gmin_bias : int;
+  dac_bias : int;
+  preamp_bias : int;
+  comp_bias : int;
+  loop_delay : int;
+  dac_trim : int;
+  fb_enable : bool;
+  comp_clock_enable : bool;
+  gmin_enable : bool;
+  cal_buffer_enable : bool;
+  out_buffer : int;
+  preamp_trim : int;
+}
+
+let key_bits = 64
+
+(* (name, offset, width, getter, setter) for every field, in layout
+   order.  Keeping the table single-sourced guarantees the codec, the
+   by-name accessors and the pretty-printer never drift apart. *)
+let fields :
+    (string * int * int * (t -> int) * (t -> int -> t)) list =
+  [
+    ("vglna_gain", 0, 4, (fun c -> c.vglna_gain), fun c v -> { c with vglna_gain = v });
+    ("cap_coarse", 4, 8, (fun c -> c.cap_coarse), fun c v -> { c with cap_coarse = v });
+    ("cap_fine", 12, 8, (fun c -> c.cap_fine), fun c v -> { c with cap_fine = v });
+    ("gm_q", 20, 6, (fun c -> c.gm_q), fun c v -> { c with gm_q = v });
+    ("gmin_bias", 26, 6, (fun c -> c.gmin_bias), fun c v -> { c with gmin_bias = v });
+    ("dac_bias", 32, 6, (fun c -> c.dac_bias), fun c v -> { c with dac_bias = v });
+    ("preamp_bias", 38, 6, (fun c -> c.preamp_bias), fun c v -> { c with preamp_bias = v });
+    ("comp_bias", 44, 6, (fun c -> c.comp_bias), fun c v -> { c with comp_bias = v });
+    ("loop_delay", 50, 4, (fun c -> c.loop_delay), fun c v -> { c with loop_delay = v });
+    ("dac_trim", 54, 2, (fun c -> c.dac_trim), fun c v -> { c with dac_trim = v });
+    ( "fb_enable", 56, 1,
+      (fun c -> if c.fb_enable then 1 else 0),
+      fun c v -> { c with fb_enable = v <> 0 } );
+    ( "comp_clock_enable", 57, 1,
+      (fun c -> if c.comp_clock_enable then 1 else 0),
+      fun c v -> { c with comp_clock_enable = v <> 0 } );
+    ( "gmin_enable", 58, 1,
+      (fun c -> if c.gmin_enable then 1 else 0),
+      fun c v -> { c with gmin_enable = v <> 0 } );
+    ( "cal_buffer_enable", 59, 1,
+      (fun c -> if c.cal_buffer_enable then 1 else 0),
+      fun c v -> { c with cal_buffer_enable = v <> 0 } );
+    ("out_buffer", 60, 2, (fun c -> c.out_buffer), fun c v -> { c with out_buffer = v });
+    ("preamp_trim", 62, 2, (fun c -> c.preamp_trim), fun c v -> { c with preamp_trim = v });
+  ]
+
+let nominal =
+  {
+    vglna_gain = 8;
+    cap_coarse = 128;
+    cap_fine = 128;
+    gm_q = 24;
+    gmin_bias = 32;
+    dac_bias = 32;
+    preamp_bias = 32;
+    comp_bias = 32;
+    loop_delay = 8;
+    dac_trim = 2;
+    fb_enable = true;
+    comp_clock_enable = true;
+    gmin_enable = true;
+    cal_buffer_enable = false;
+    out_buffer = 2;
+    preamp_trim = 2;
+  }
+
+let validate c =
+  let check (name, _, width, get, _) acc =
+    match acc with
+    | Error _ as e -> e
+    | Ok c ->
+      let v = get c in
+      if v < 0 || v >= 1 lsl width then
+        Error (Printf.sprintf "field %s = %d out of range [0, %d]" name v ((1 lsl width) - 1))
+      else Ok c
+  in
+  List.fold_right check fields (Ok c)
+
+let to_bits c =
+  let pack acc (_, offset, width, get, _) =
+    let v = Int64.of_int (get c land ((1 lsl width) - 1)) in
+    Int64.logor acc (Int64.shift_left v offset)
+  in
+  List.fold_left pack 0L fields
+
+let of_bits bits =
+  let unpack c (_, offset, width, _, set) =
+    let v = Int64.to_int (Int64.logand (Int64.shift_right_logical bits offset)
+                            (Int64.of_int ((1 lsl width) - 1))) in
+    set c v
+  in
+  List.fold_left unpack nominal fields
+
+let random rng = of_bits (Sigkit.Rng.bits64 rng)
+
+let popcount64 x =
+  let rec go x acc = if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+  go x 0
+
+let hamming_distance a b = popcount64 (Int64.logxor (to_bits a) (to_bits b))
+let equal a b = to_bits a = to_bits b
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, _, _, get, _) -> Format.fprintf fmt "%-18s %d@," name (get c))
+    fields;
+  Format.fprintf fmt "@]"
+
+let field_names = List.map (fun (name, _, _, _, _) -> name) fields
+
+let lookup name =
+  match List.find_opt (fun (n, _, _, _, _) -> n = name) fields with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Config: unknown field %s" name)
+
+let with_field c name v =
+  let _, _, width, _, set = lookup name in
+  if v < 0 || v >= 1 lsl width then
+    invalid_arg (Printf.sprintf "Config.with_field: %s = %d out of range" name v);
+  set c v
+
+let field c name =
+  let _, _, _, get, _ = lookup name in
+  get c
+
+let field_width name =
+  let _, _, width, _, _ = lookup name in
+  width

@@ -1,0 +1,82 @@
+(** The 64-bit analog configuration word.
+
+    All tuning knobs of the analog section are driven by this word
+    (paper: "64 programming bits embedded into the analog section").
+    Locking treats the whole word as the secret key, so the codec here
+    is shared by the receiver model, the calibration algorithm, the
+    locking layer and the attacks.
+
+    Bit layout (LSB first):
+    {v
+      0- 3  vglna_gain        VGLNA gain level (16 levels)
+      4-11  cap_coarse        coarse LC-tank capacitor code (Cc)
+     12-19  cap_fine          fine LC-tank capacitor code (Cf)
+     20-25  gm_q              Q-enhancement (-Gm) strength
+     26-31  gmin_bias         input transconductor bias trim
+     32-37  dac_bias          feedback DAC bias trim
+     38-43  preamp_bias       comparator pre-amplifier bias trim
+     44-49  comp_bias         comparator offset/regeneration trim
+     50-53  loop_delay        feedback loop delay setting
+     54-55  dac_trim          DAC level-mismatch fine trim
+     56     fb_enable         feedback loop closed (1) or open (0)
+     57     comp_clock_enable comparator clocked (1) or buffer (0)
+     58     gmin_enable       input transconductor on/off
+     59     cal_buffer_enable calibration output buffer in path
+     60-61  out_buffer        calibration buffer drive strength
+     62-63  preamp_trim       pre-amplifier offset fine trim
+    v} *)
+
+type t = {
+  vglna_gain : int;
+  cap_coarse : int;
+  cap_fine : int;
+  gm_q : int;
+  gmin_bias : int;
+  dac_bias : int;
+  preamp_bias : int;
+  comp_bias : int;
+  loop_delay : int;
+  dac_trim : int;
+  fb_enable : bool;
+  comp_clock_enable : bool;
+  gmin_enable : bool;
+  cal_buffer_enable : bool;
+  out_buffer : int;
+  preamp_trim : int;
+}
+
+val key_bits : int
+(** 64: the key width of the case study. *)
+
+val nominal : t
+(** Design-centre word: all trims mid-scale, normal operating modes
+    (feedback closed, comparator clocked, input on, cal buffer out). *)
+
+val validate : t -> (t, string) result
+(** Range-check every field. *)
+
+val to_bits : t -> int64
+val of_bits : int64 -> t
+(** Total bijection between words and [int64]; every 64-bit pattern is
+    a decodable (if probably non-functional) configuration. *)
+
+val random : Sigkit.Rng.t -> t
+(** Uniform over all 2^64 words — the brute-force attacker's draw. *)
+
+val hamming_distance : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val field_names : string list
+(** Names of the multi-bit tuning fields, in layout order (used by the
+    coordinate-search attack and calibration). *)
+
+val with_field : t -> string -> int -> t
+(** [with_field t name v] functionally updates a field by name.  Boolean
+    fields take 0/1.  Raises [Invalid_argument] on unknown names. *)
+
+val field : t -> string -> int
+(** Read a field by name (booleans as 0/1). *)
+
+val field_width : string -> int
+(** Bit width of a named field. *)

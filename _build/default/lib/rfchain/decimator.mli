@@ -1,0 +1,31 @@
+(** Digital decimation filter (CIC + droop compensator).
+
+    Third-order cascaded integrator-comb decimator followed by an
+    optional droop-compensation FIR.  The digital section's 3
+    programming bits select the decimation ratio (2 bits: 16/32/64/128)
+    and whether the compensator is in the path (1 bit) — per-standard
+    settings the paper treats as easy to derive, hence not part of the
+    secret key. *)
+
+type config = {
+  ratio_select : int;   (** 0..3 -> ratio 16/32/64/128 *)
+  compensator : bool;
+}
+
+val default_config : config
+(** Ratio 64 (the evaluation's OSR) with compensation. *)
+
+val config_of_bits : int -> config
+val bits_of_config : config -> int
+(** 3-bit codec: bits 0-1 ratio select, bit 2 compensator. *)
+
+val ratio : config -> int
+
+val decimate : config -> float array -> float array
+(** Decimate one real channel: a CIC stage by [ratio/2] followed by a
+    half-band FIR 2x stage (or a crude averaging stage when the
+    compensator bit is off).  Output is gain-normalised (unity DC
+    gain) with length [floor (n / ratio)]. *)
+
+val run_iq : config -> float array * float array -> float array * float array
+(** Decimate both quadrature channels with identical filters. *)

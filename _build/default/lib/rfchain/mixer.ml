@@ -1,0 +1,12 @@
+let downconvert x =
+  let n = Array.length x in
+  let i_out = Array.make n 0.0 and q_out = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* cos(pi k / 2) on I, -sin(pi k / 2) on Q. *)
+    match k land 3 with
+    | 0 -> i_out.(k) <- x.(k)
+    | 1 -> q_out.(k) <- -.x.(k)
+    | 2 -> i_out.(k) <- -.x.(k)
+    | _ -> q_out.(k) <- x.(k)
+  done;
+  (i_out, q_out)

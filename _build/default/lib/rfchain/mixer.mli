@@ -1,0 +1,10 @@
+(** Digital fs/4 down-conversion mixer.
+
+    Because the modulator samples at [fs = 4 f0], down-conversion is a
+    multiplication by the exact sequences [cos(pi n / 2) = 1,0,-1,0]
+    and [-sin(pi n / 2) = 0,-1,0,1] — multiplier-free and ideal, as in
+    the paper's highly-digitized architecture. *)
+
+val downconvert : float array -> float array * float array
+(** [downconvert x] returns the (i, q) baseband pair at the input rate
+    (quadrature components of [x] mixed down by fs/4). *)

@@ -1,0 +1,56 @@
+(** The complete programmable multi-standard RF receiver (paper Fig. 4).
+
+    Chain: VGLNA -> band-pass RF sigma-delta modulator -> digital fs/4
+    down-conversion mixer -> digital decimation filter.  The analog
+    section is configured by the 64-bit {!Config} word (the secret key
+    under the locking scheme); the digital section by the 3-bit
+    {!Decimator.config}.
+
+    The digital section's input is a single-bit port: whatever waveform
+    the modulator emits is hard-sliced to +-1 at that boundary.  For a
+    correctly keyed chip this is the identity (the output already is a
+    bitstream); for the "deceptive" open-loop keys of Fig. 7 it is what
+    collapses the receiver-output SNR in Fig. 9. *)
+
+type t
+
+type result = {
+  mod_output : float array;   (** modulator output at [fs] (settle dropped) *)
+  baseband_i : float array;   (** decimated in-phase channel *)
+  baseband_q : float array;   (** decimated quadrature channel *)
+  fs : float;                 (** modulator sampling rate *)
+  fs_baseband : float;        (** decimated output rate *)
+}
+
+val create : Circuit.Process.chip -> Standards.t -> t
+
+val chip : t -> Circuit.Process.chip
+val standard : t -> Standards.t
+val fs : t -> float
+
+val run :
+  t ->
+  analog:Config.t ->
+  ?digital:Decimator.config ->
+  ?settle:int ->
+  ?slice:bool ->
+  input:float array ->
+  unit ->
+  result
+(** Simulate the chain on an antenna-referred input record (volts into
+    50 ohm).  [settle] extra samples (default 1024) are prepended and
+    dropped so records are steady-state.  [slice] (default true) keeps
+    the digital section's 1-bit input boundary; false is the ablation
+    that pretends the digital section accepted analog samples. *)
+
+val test_tone_frequency : t -> n:int -> float
+(** The single-tone test frequency used throughout the evaluation: a
+    coherent bin frequency one third of the half-band above the
+    carrier, for an [n]-point FFT at [fs]. *)
+
+val sdm_of_config : t -> Config.t -> Sdm.t
+(** The modulator instance this receiver would run under a given word —
+    exposed for calibration (oscillation mode) and white-box tests. *)
+
+val slice_to_bit : float array -> float array
+(** The digital section's 1-bit input boundary. *)

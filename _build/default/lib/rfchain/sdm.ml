@@ -1,0 +1,224 @@
+type tank = {
+  theta : float;
+  l_henry : float;
+  c_farad : float;
+}
+
+type t = {
+  chip : Circuit.Process.chip;
+  fs : float;
+  config : Config.t;
+  tank1 : tank;
+  tank2 : tank;
+  r : float;                   (* Q-enhancement pole radius *)
+  gmin : float;                (* input transconductance gain *)
+  gmin_stage : Circuit.Nonlinear.t;
+  gdac : float;                (* feedback DAC gain *)
+  dac_mismatch : float;        (* residual level mismatch after trim *)
+  preamp_gain : float;
+  comp_offset : float;         (* residual comparator offset after trim *)
+  comp_hysteresis : float;     (* regeneration dead zone, bias-dependent *)
+  comp_noise_sigma : float;    (* decision noise referred to preamp output *)
+  delay_samples : float;       (* fractional excess loop delay *)
+  input_noise_sigma : float;   (* modulator input-referred circuit noise *)
+  buffer_gain : float;         (* calibration output buffer, when in path *)
+}
+
+(* Design constants of the case study (65 nm, 0.5 nH tank). *)
+let l_nominal = 0.5e-9
+let coarse_unit = 80e-15
+let fine_unit = 0.35e-15
+let fixed_cap = 4.3e-12
+
+(* Trim DACs: 6-bit codes, mid-code = unity. *)
+let trim6 code = 0.52 +. (0.015 *. float_of_int code)
+
+let tank_of_codes chip ~prefix ~fs ~coarse ~fine =
+  let arrays name bits unit =
+    Circuit.Cap_array.create chip ~name:(prefix ^ "." ^ name) ~bits ~unit_cap:unit
+      ~mismatch_sigma_pct:1.0
+  in
+  let c_coarse = arrays "cc" 8 coarse_unit in
+  let c_fine = arrays "cf" 8 fine_unit in
+  let c_fixed =
+    Circuit.Process.parameter chip ~name:(prefix ^ ".cfixed") ~nominal:fixed_cap ~sigma_pct:5.0
+  in
+  let l = Circuit.Process.parameter chip ~name:(prefix ^ ".L") ~nominal:l_nominal ~sigma_pct:8.0 in
+  let c =
+    c_fixed
+    +. Circuit.Cap_array.capacitance c_coarse coarse
+    +. Circuit.Cap_array.capacitance c_fine fine
+  in
+  { theta = Circuit.Resonator.theta_of_lc ~l ~c ~fs; l_henry = l; c_farad = c }
+
+let pole_radius_of_code chip code =
+  let base = Circuit.Process.parameter chip ~name:"sdm.r_base" ~nominal:0.968 ~sigma_pct:0.4 in
+  let slope = Circuit.Process.parameter chip ~name:"sdm.r_slope" ~nominal:1.05e-3 ~sigma_pct:3.0 in
+  base +. (slope *. float_of_int code)
+
+let required_delay_code chip ~fs =
+  let skew = Circuit.Process.offset chip ~name:"sdm.delay_skew" ~sigma:1.5 in
+  let code = Float.round (4.0 +. (4.0 *. fs /. 12e9) +. skew) in
+  max 0 (min 15 (int_of_float code))
+
+let create chip ~fs (config : Config.t) =
+  let tank1 = tank_of_codes chip ~prefix:"sdm.tank1" ~fs ~coarse:config.cap_coarse ~fine:config.cap_fine in
+  (* The two tanks sit side by side on-die and share the tuning codes;
+     they track each other to local-mismatch accuracy (~0.3%), not to
+     the global-corner accuracy of independent draws. *)
+  let tank2 =
+    let dl = Circuit.Process.offset chip ~name:"sdm.tank2.dl" ~sigma:0.003 in
+    let dc = Circuit.Process.offset chip ~name:"sdm.tank2.dc" ~sigma:0.003 in
+    let l = tank1.l_henry *. (1.0 +. dl) and c = tank1.c_farad *. (1.0 +. dc) in
+    { theta = Circuit.Resonator.theta_of_lc ~l ~c ~fs; l_henry = l; c_farad = c }
+  in
+  let gmin_nom = Circuit.Process.parameter chip ~name:"sdm.gmin" ~nominal:1.0 ~sigma_pct:5.0 in
+  let gmin = gmin_nom *. trim6 config.gmin_bias in
+  (* The transconductor's linearity peaks at a per-die bias sweet spot. *)
+  let gmin_sweet =
+    let d = Circuit.Process.offset chip ~name:"sdm.gmin_sweet" ~sigma:3.0 in
+    max 8 (min 56 (32 + int_of_float (Float.round d)))
+  in
+  let gmin_iip3 = 16.0 -. (0.4 *. float_of_int (abs (config.gmin_bias - gmin_sweet))) in
+  let gdac_nom = Circuit.Process.parameter chip ~name:"sdm.gdac" ~nominal:1.0 ~sigma_pct:5.0 in
+  let gdac = gdac_nom *. trim6 config.dac_bias in
+  let dac_mismatch =
+    Circuit.Process.offset chip ~name:"sdm.dac_mismatch" ~sigma:0.0015
+    -. (float_of_int (config.dac_trim - 2) *. 0.001)
+  in
+  let preamp_gain = 0.2 +. (0.05 *. float_of_int config.preamp_bias) in
+  let comp_offset_raw = Circuit.Process.offset chip ~name:"sdm.comp_offset" ~sigma:0.03 in
+  let comp_offset =
+    comp_offset_raw
+    -. (float_of_int (config.comp_bias - 32) *. 0.002)
+    -. (float_of_int (config.preamp_trim - 2) *. 0.004)
+  in
+  let comp_noise_sigma =
+    Circuit.Process.parameter chip ~name:"sdm.comp_noise" ~nominal:0.004 ~sigma_pct:10.0
+  in
+  (* Regeneration strength peaks at a per-die comparator bias; away from
+     it the dead zone widens and injects in-band noise. *)
+  let comp_sweet =
+    let d = Circuit.Process.offset chip ~name:"sdm.comp_sweet" ~sigma:4.0 in
+    max 8 (min 56 (32 + int_of_float (Float.round d)))
+  in
+  let comp_hysteresis = 0.0003 +. (0.002 *. float_of_int (abs (config.comp_bias - comp_sweet))) in
+  let delay_samples =
+    0.25 *. Float.abs (float_of_int (config.loop_delay - required_delay_code chip ~fs))
+  in
+  let input_noise_sigma =
+    Circuit.Process.parameter chip ~name:"sdm.input_noise" ~nominal:0.0105 ~sigma_pct:8.0
+  in
+  let buffer_gain =
+    if config.cal_buffer_enable then 0.88 +. (0.04 *. float_of_int config.out_buffer) else 1.0
+  in
+  {
+    chip;
+    fs;
+    config;
+    tank1;
+    tank2;
+    r = pole_radius_of_code chip config.gm_q;
+    gmin;
+    gmin_stage = Circuit.Nonlinear.create ~gain:1.0 ~iip3_dbm:gmin_iip3 ~rail:1.5 ();
+    gdac;
+    dac_mismatch;
+    preamp_gain;
+    comp_offset;
+    comp_hysteresis;
+    comp_noise_sigma;
+    delay_samples;
+    input_noise_sigma;
+    buffer_gain;
+  }
+
+let tank_frequency t = 1.0 /. (2.0 *. Float.pi *. sqrt (t.tank1.l_henry *. t.tank1.c_farad))
+let pole_radius t = t.r
+let oscillates t = t.r >= 1.0
+let signal_gain t = t.gmin /. t.gdac
+
+let oscillation_frequency t ~n =
+  let res = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:1.2 () in
+  Circuit.Resonator.oscillation_frequency res ~fs:t.fs ~n
+
+(* Loop-filter feedback coefficients of the z -> -z^2 mapped MOD2:
+   k1 = 1 (outer feedback, through both resonators), k2 = -2 (inner). *)
+let k1 = 1.0
+let k2 = -2.0
+
+let run t input =
+  let n = Array.length input in
+  let cfg = t.config in
+  let res1 = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:50.0 () in
+  let res2 = Circuit.Resonator.create ~theta:t.tank2.theta ~r:t.r ~limit:50.0 () in
+  let comp_mode =
+    if cfg.comp_clock_enable then Circuit.Comparator.Clocked else Circuit.Comparator.Buffer
+  in
+  let comp_noise = Circuit.Process.noise_stream t.chip ~name:"run.comp" in
+  (* Without the clock the latch never regenerates: its full
+     input-referred noise shows up on the buffered output. *)
+  let comp_noise_sigma =
+    if cfg.comp_clock_enable then t.comp_noise_sigma else Float.max t.comp_noise_sigma 0.05
+  in
+  let comparator =
+    Circuit.Comparator.create ~mode:comp_mode ~offset:t.comp_offset
+      ~hysteresis:t.comp_hysteresis ~noise:comp_noise ~noise_sigma:comp_noise_sigma ()
+  in
+  (* Opening the feedback loop removes the DAC's DC path that defines
+     the loop filter's operating point: the comparator input floats to
+     a large offset. *)
+  let open_loop_offset = if cfg.fb_enable then 0.0 else 0.5 in
+  let input_noise = Circuit.Process.noise_stream t.chip ~name:"run.input" in
+  (* An unclocked comparator output crosses into the clocked digital
+     domain asynchronously: no retiming, so the effective sampling
+     instant wanders (metastability + clock skew).  ~0.2 samples rms at
+     12 GS/s; first-order jitter error is slope * delta_t.  The clocked
+     path is synchronous and jitter-free. *)
+  let jitter_noise = Circuit.Process.noise_stream t.chip ~name:"run.jitter" in
+  let jitter_sigma = if cfg.comp_clock_enable then 0.0 else 0.2 in
+  let v_prev = ref 0.0 in
+  (* Decision history for the feedback DAC; fractional loop-delay error
+     is modelled as linear interpolation between history taps (a shifted
+     DAC pulse delivers charge split across two periods). *)
+  let hist_len = 8 in
+  let v_hist = Array.make hist_len 0.0 in
+  let d_int = min (hist_len - 2) (int_of_float (Float.floor t.delay_samples)) in
+  let d_frac = t.delay_samples -. float_of_int d_int in
+  let output = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    (* Forward path first: both resonator outputs depend only on past
+       loop inputs, so no algebraic loop arises. *)
+    let w1 = Circuit.Resonator.output res1 in
+    let w2 = Circuit.Resonator.output res2 in
+    let s = t.preamp_gain *. (w2 +. open_loop_offset) in
+    let v = Circuit.Comparator.step comparator s in
+    (* Shift the decision history and read the (fractionally) delayed
+       feedback value. *)
+    for k = hist_len - 1 downto 1 do
+      v_hist.(k) <- v_hist.(k - 1)
+    done;
+    v_hist.(0) <- v;
+    let v_delayed = ((1.0 -. d_frac) *. v_hist.(d_int)) +. (d_frac *. v_hist.(d_int + 1)) in
+    let fb = if cfg.fb_enable then t.gdac *. (v_delayed +. t.dac_mismatch) else 0.0 in
+    let u =
+      let signal =
+        if cfg.gmin_enable then t.gmin *. Circuit.Nonlinear.apply t.gmin_stage input.(i)
+        else 0.0
+      in
+      signal +. (t.input_noise_sigma *. Sigkit.Rng.gaussian input_noise)
+    in
+    Circuit.Resonator.feed res1 (u -. (k1 *. fb));
+    Circuit.Resonator.feed res2 (w1 -. (k2 *. fb));
+    let v_sampled =
+      if jitter_sigma = 0.0 then v
+      else begin
+        let slope = v -. !v_prev in
+        v_prev := v;
+        v +. (jitter_sigma *. Sigkit.Rng.gaussian jitter_noise *. slope)
+      end
+    in
+    output.(i) <-
+      (if cfg.cal_buffer_enable then 1.2 *. tanh (t.buffer_gain *. v_sampled /. 1.2)
+       else v_sampled)
+  done;
+  output

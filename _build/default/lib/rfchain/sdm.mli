@@ -1,0 +1,60 @@
+(** Band-pass RF sigma-delta modulator (behavioural model of paper Fig. 6).
+
+    Architecture: input transconductance [Gmin], an LC band-pass loop
+    filter realised as two cascaded tunable resonators with coarse/fine
+    capacitor arrays [Cc]/[Cf] and a Q-enhancement negative-Gm cell, a
+    pre-amplifier, a clocked 1-bit comparator, a programmable loop
+    delay, a feedback DAC, and an output buffer used during calibration.
+
+    The discrete-time prototype is the 4th-order fs/4 band-pass
+    modulator obtained from the second-order low-pass modulator by the
+    [z -> -z^2] mapping: with both resonators tuned to fs/4 (pole radius
+    1) and feedback coefficients [k1 = 1, k2 = -2] the noise transfer
+    function is exactly [(1 + z^-2)^2] — a noise notch at the carrier.
+    Every knob of the 64-bit configuration word perturbs this loop the
+    way the physical block would:
+
+    - [cap_coarse]/[cap_fine] move the resonator angles via the LC tank;
+    - [gm_q] moves the pole radius (above 1 the tank self-oscillates:
+      calibration's oscillation mode);
+    - [gmin_bias]/[dac_bias] scale signal and loop gain;
+    - [preamp_bias], [comp_bias], [preamp_trim] set the comparator's
+      effective input noise, offset and hysteresis;
+    - [loop_delay] mis-sets the DAC timing (fractional-delay error);
+    - the mode bits open/close the loop, clock or bypass the comparator,
+      enable the input and insert the calibration buffer. *)
+
+type t
+
+val create : Circuit.Process.chip -> fs:float -> Config.t -> t
+(** Instantiate the modulator of one die at sampling rate [fs] under a
+    configuration word.  Cheap; all heavy work is in {!run}. *)
+
+val run : t -> float array -> float array
+(** Simulate sample by sample.  Input is the (post-VGLNA) analog record;
+    output is the modulator output: a +-1 bitstream when the comparator
+    is clocked, an analog waveform when it is in buffer mode. *)
+
+val tank_frequency : t -> float
+(** True resonance frequency of the (first) tank under this die and
+    configuration — ground truth for tests; not observable on silicon. *)
+
+val pole_radius : t -> float
+(** Realised Q-enhancement pole radius for this configuration. *)
+
+val oscillates : t -> bool
+(** Whether the tank self-oscillates (pole radius >= 1) — what a bench
+    engineer observes in calibration oscillation mode. *)
+
+val oscillation_frequency : t -> n:int -> float option
+(** Open-loop oscillation-mode measurement (calibration steps 5-6):
+    kick the tank and measure the output frequency.  [None] when the
+    oscillation dies out (step 7's vanishing test). *)
+
+val required_delay_code : Circuit.Process.chip -> fs:float -> int
+(** The loop-delay code that exactly compensates this die's excess loop
+    delay at [fs] — design knowledge the calibration derives from the
+    sampling frequency (paper step 11). *)
+
+val signal_gain : t -> float
+(** In-band signal transfer gain (gmin / gdac), for level planning. *)

@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  f0_hz : float;
+  min_snr_db : float;
+  min_sfdr_db : float;
+  sensitivity_dbm : float;
+}
+
+let oversampling_ratio = 64
+let fs t = 4.0 *. t.f0_hz
+let band_hz t = fs t /. (2.0 *. float_of_int oversampling_ratio)
+
+let bluetooth =
+  { name = "bluetooth"; f0_hz = 2.44e9; min_snr_db = 35.0; min_sfdr_db = 32.0; sensitivity_dbm = -70.0 }
+
+let zigbee =
+  { name = "zigbee"; f0_hz = 2.405e9; min_snr_db = 33.0; min_sfdr_db = 32.0; sensitivity_dbm = -75.0 }
+
+let wifi_b =
+  { name = "wifi-802.11b"; f0_hz = 2.412e9; min_snr_db = 35.0; min_sfdr_db = 32.0; sensitivity_dbm = -68.0 }
+
+let lower_band =
+  { name = "lower-band-1.5GHz"; f0_hz = 1.5e9; min_snr_db = 35.0; min_sfdr_db = 32.0; sensitivity_dbm = -70.0 }
+
+let max_frequency =
+  { name = "max-3GHz"; f0_hz = 3.0e9; min_snr_db = 36.0; min_sfdr_db = 32.0; sensitivity_dbm = -70.0 }
+
+let all = [ lower_band; zigbee; wifi_b; bluetooth; max_frequency ]
+
+let find name = List.find (fun s -> s.name = name) all

@@ -1,0 +1,40 @@
+(** Communication standards served by the multi-standard receiver.
+
+    The case-study receiver covers 1.5-3.0 GHz (Bluetooth, ZigBee, WiFi
+    802.11b, ... paper Section V).  Each standard fixes the carrier the
+    LC tank must tune to, the sampling rate (always [4 f0]: fs/4
+    architecture), and the performance specification the calibrated chip
+    must meet.  The oversampling ratio is 64 throughout, matching the
+    paper's SNR measurements. *)
+
+type t = {
+  name : string;
+  f0_hz : float;          (** carrier / tank centre frequency *)
+  min_snr_db : float;     (** spec at -25 dBm input *)
+  min_sfdr_db : float;
+  sensitivity_dbm : float;
+}
+
+val oversampling_ratio : int
+(** OSR = 64 (paper, Section VI-A). *)
+
+val fs : t -> float
+(** Sampling rate, [4 * f0]. *)
+
+val band_hz : t -> float
+(** Two-sided signal band, [fs / (2 * OSR)]. *)
+
+val bluetooth : t
+val zigbee : t
+val wifi_b : t
+val lower_band : t
+(** 1.5 GHz lower edge of the tuning range. *)
+
+val max_frequency : t
+(** 3.0 GHz — the maximum centre frequency, the standard used for the
+    paper's locking-efficiency experiments (Section VI-A). *)
+
+val all : t list
+
+val find : string -> t
+(** Lookup by name.  Raises [Not_found]. *)

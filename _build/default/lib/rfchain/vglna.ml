@@ -1,0 +1,57 @@
+type t = {
+  chip : Circuit.Process.chip;
+  fs : float;
+  gain_error_db : float array;   (** per-code realised-gain deviation *)
+}
+
+let levels = 16
+let base_gain_db = 8.0
+let step_db = 2.0
+
+let create chip ~fs =
+  let gain_error code =
+    Circuit.Process.offset chip ~name:(Printf.sprintf "vglna.gain%d" code) ~sigma:0.4
+  in
+  { chip; fs; gain_error_db = Array.init levels gain_error }
+
+let check_code code =
+  if code < 0 || code >= levels then invalid_arg "Vglna: gain code out of range"
+
+let nominal_gain_db ~code = base_gain_db +. (step_db *. float_of_int code)
+
+let gain_db t ~code =
+  check_code code;
+  nominal_gain_db ~code +. t.gain_error_db.(code)
+
+let code_for_gain_db g =
+  let code = int_of_float (Float.round ((g -. base_gain_db) /. step_db)) in
+  max 0 (min (levels - 1) code)
+
+let segment_code ~p_dbm =
+  if p_dbm <= -45.0 then 14        (* [-85,-45]: high gain *)
+  else if p_dbm <= -20.0 then 9    (* [-60,-20]: mid gain *)
+  else 3                           (* [-40,0]:   low gain *)
+
+let noise_figure_db t ~code =
+  check_code code;
+  let nominal = 3.0 +. ((float_of_int (levels - 1 - code)) *. 0.35) in
+  Circuit.Process.parameter t.chip
+    ~name:(Printf.sprintf "vglna.nf%d" code)
+    ~nominal ~sigma_pct:4.0
+
+let iip3_dbm t ~code =
+  check_code code;
+  let nominal = -10.0 +. (float_of_int (levels - 1 - code) *. 1.2) in
+  nominal +. Circuit.Process.offset t.chip ~name:(Printf.sprintf "vglna.iip3%d" code) ~sigma:0.5
+
+let run t ~code input =
+  check_code code;
+  let gain = Sigkit.Decibel.power_ratio_of_db (gain_db t ~code /. 2.0) in
+  (* power_ratio_of_db(g/2) = 10^(g/20): voltage gain. *)
+  let stage = Circuit.Nonlinear.create ~gain ~iip3_dbm:(iip3_dbm t ~code) ~rail:1.4 () in
+  let noise =
+    Circuit.Noise_source.of_noise_figure t.chip
+      ~name:(Printf.sprintf "vglna.noise%d" code)
+      ~nf_db:(noise_figure_db t ~code) ~fs:t.fs
+  in
+  Array.map (fun x -> Circuit.Nonlinear.apply stage (x +. Circuit.Noise_source.sample noise)) input

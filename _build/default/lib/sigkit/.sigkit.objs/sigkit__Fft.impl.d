@@ -1,0 +1,1 @@
+lib/sigkit/fft.ml: Array Float

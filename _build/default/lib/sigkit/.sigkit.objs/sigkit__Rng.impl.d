@@ -1,0 +1,1 @@
+lib/sigkit/rng.ml: Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/sigkit/spectrum.ml: Array Decibel Fft Float List Window

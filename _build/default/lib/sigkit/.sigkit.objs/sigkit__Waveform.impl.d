@@ -1,0 +1,1 @@
+lib/sigkit/waveform.ml: Array Decibel Float Rng

@@ -1,0 +1,1 @@
+lib/sigkit/waveform.mli: Rng

@@ -1,0 +1,1 @@
+lib/sigkit/window.ml: Array Float List

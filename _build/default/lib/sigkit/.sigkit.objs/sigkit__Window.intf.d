@@ -1,0 +1,1 @@
+lib/sigkit/window.mli:

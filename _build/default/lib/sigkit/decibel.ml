@@ -1,0 +1,11 @@
+let reference_ohms = 50.0
+
+let db_of_power_ratio r = if r <= 0.0 then neg_infinity else 10.0 *. log10 r
+let power_ratio_of_db db = 10.0 ** (db /. 10.0)
+let db_of_amplitude_ratio r = if r <= 0.0 then neg_infinity else 20.0 *. log10 r
+let dbm_of_watts w = db_of_power_ratio (w *. 1000.0)
+let watts_of_dbm dbm = power_ratio_of_db dbm /. 1000.0
+
+(* P = A^2 / (2 R) for a peak-amplitude-A sinusoid into load R. *)
+let amplitude_of_dbm dbm = sqrt (2.0 *. reference_ohms *. watts_of_dbm dbm)
+let dbm_of_amplitude a = dbm_of_watts (a *. a /. (2.0 *. reference_ohms))

@@ -1,0 +1,30 @@
+(** Decibel and dBm conversions used throughout the RF metrology.
+
+    Power quantities are in watts unless suffixed; amplitudes are peak
+    volts into the reference load (50 ohm, the standard RF impedance). *)
+
+val reference_ohms : float
+(** Reference load for dBm/amplitude conversions (50 ohm). *)
+
+val db_of_power_ratio : float -> float
+(** [db_of_power_ratio r] is [10 log10 r].  Returns [neg_infinity] for
+    non-positive ratios. *)
+
+val power_ratio_of_db : float -> float
+(** Inverse of {!db_of_power_ratio}. *)
+
+val db_of_amplitude_ratio : float -> float
+(** [20 log10 r] for voltage/amplitude ratios. *)
+
+val dbm_of_watts : float -> float
+(** Power in dBm given watts. *)
+
+val watts_of_dbm : float -> float
+(** Watts given power in dBm. *)
+
+val amplitude_of_dbm : float -> float
+(** Peak sinusoid amplitude (volts) delivering the given power into
+    {!reference_ohms}. *)
+
+val dbm_of_amplitude : float -> float
+(** Inverse of {!amplitude_of_dbm}. *)

@@ -1,0 +1,23 @@
+(** Radix-2 complex fast Fourier transform.
+
+    Operates in place on parallel real/imaginary [float array]s, which
+    avoids boxing [Complex.t] in hot loops.  Lengths must be powers of
+    two; {!is_pow2} and {!next_pow2} help callers prepare records. *)
+
+val is_pow2 : int -> bool
+val next_pow2 : int -> int
+
+val forward : float array -> float array -> unit
+(** [forward re im] transforms in place (decimation in time, no
+    normalisation).  Raises [Invalid_argument] on length mismatch or
+    non-power-of-two length. *)
+
+val inverse : float array -> float array -> unit
+(** Inverse transform in place, normalised by 1/N so that
+    [inverse (forward x) = x]. *)
+
+val of_real : float array -> float array * float array
+(** Copy a real record into freshly allocated (re, im) arrays. *)
+
+val magnitude_squared : float array -> float array -> float array
+(** Pointwise |X_k|^2 of a transformed record. *)

@@ -1,0 +1,70 @@
+type t = {
+  mutable state : int64;
+  mutable cached_gaussian : float option;
+  seed : int64;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer: avalanche the counter into a high-quality word. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let seed64 = mix (Int64.of_int seed) in
+  { state = seed64; cached_gaussian = None; seed = seed64 }
+
+let hash_label label =
+  (* FNV-1a over the label bytes, good enough to decorrelate streams. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  !h
+
+let split t label = {
+  state = mix (Int64.logxor t.seed (hash_label label));
+  cached_gaussian = None;
+  seed = mix (Int64.add t.seed (hash_label label));
+}
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let float t =
+  (* 53 high bits mapped to [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Rng.int_range: lo > hi";
+  let span = hi - lo + 1 in
+  lo + int_of_float (float t *. float_of_int span)
+
+let uniform t lo hi = lo +. (float t *. (hi -. lo))
+
+let gaussian t =
+  match t.cached_gaussian with
+  | Some g ->
+    t.cached_gaussian <- None;
+    g
+  | None ->
+    (* Box-Muller; reject u1 = 0 to keep log finite. *)
+    let rec draw_u1 () =
+      let u = float t in
+      if u > 0.0 then u else draw_u1 ()
+    in
+    let u1 = draw_u1 () and u2 = float t in
+    let radius = sqrt (-2.0 *. log u1) in
+    let angle = 2.0 *. Float.pi *. u2 in
+    t.cached_gaussian <- Some (radius *. sin angle);
+    radius *. cos angle
+
+let gaussian_scaled t ~mean ~sigma = mean +. (sigma *. gaussian t)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L

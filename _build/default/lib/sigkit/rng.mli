@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the repository (process variations, thermal
+    noise, random keys, attack search moves) flows through this module so
+    that every experiment is reproducible from a single integer seed.  The
+    generator is splitmix64, which has a 64-bit state, passes BigCrush, and
+    supports cheap stream splitting. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> string -> t
+(** [split t label] derives an independent generator from [t]'s seed and
+    [label] without disturbing [t]'s stream.  Used to give each circuit
+    element its own reproducible noise stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] draws uniformly from the inclusive range
+    [lo..hi].  Raises [Invalid_argument] if [lo > hi]. *)
+
+val float : t -> float
+(** Uniform draw in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] draws uniformly from [lo, hi). *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box-Muller, cached pair). *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+(** Normal draw with the given mean and standard deviation. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)

@@ -1,0 +1,79 @@
+type t = {
+  power : float array;
+  fs : float;
+  n : int;
+  window : Window.kind;
+}
+
+let periodogram ?(window = Window.Hann) ~fs x =
+  let n =
+    let len = Array.length x in
+    if Fft.is_pow2 len then len else Fft.next_pow2 len / 2
+  in
+  if n < 2 then invalid_arg "Spectrum.periodogram: record too short";
+  let record = Array.sub x 0 n in
+  let windowed = Window.apply window record in
+  let re, im = Fft.of_real windowed in
+  Fft.forward re im;
+  let mag2 = Fft.magnitude_squared re im in
+  (* One-sided: double interior bins to account for negative frequencies. *)
+  let half = (n / 2) + 1 in
+  let power =
+    Array.init half (fun k ->
+        let p = mag2.(k) in
+        if k = 0 || k = n / 2 then p else 2.0 *. p)
+  in
+  { power; fs; n; window }
+
+let bin_of_freq t f =
+  let k = int_of_float (Float.round (f *. float_of_int t.n /. t.fs)) in
+  max 0 (min (Array.length t.power - 1) k)
+
+let freq_of_bin t k = float_of_int k *. t.fs /. float_of_int t.n
+
+let clamp t k = max 0 (min (Array.length t.power - 1) k)
+
+let band_power t ~f_lo ~f_hi =
+  let lo = bin_of_freq t f_lo and hi = bin_of_freq t f_hi in
+  let acc = ref 0.0 in
+  for k = lo to hi do
+    acc := !acc +. t.power.(k)
+  done;
+  !acc
+
+let band_power_excluding t ~f_lo ~f_hi ~exclude =
+  let lo = bin_of_freq t f_lo and hi = bin_of_freq t f_hi in
+  let excluded k = List.exists (fun (a, b) -> k >= a && k <= b) exclude in
+  let acc = ref 0.0 in
+  for k = lo to hi do
+    if not (excluded k) then acc := !acc +. t.power.(k)
+  done;
+  !acc
+
+let peak_in_band t ~f_lo ~f_hi =
+  let lo = bin_of_freq t f_lo and hi = bin_of_freq t f_hi in
+  let best = ref lo in
+  for k = lo to hi do
+    if t.power.(k) > t.power.(!best) then best := k
+  done;
+  (!best, t.power.(!best))
+
+let tone_bins t ~freq =
+  let centre = bin_of_freq t freq in
+  let search = 4 in
+  let peak = ref (clamp t centre) in
+  for k = clamp t (centre - search) to clamp t (centre + search) do
+    if t.power.(k) > t.power.(!peak) then peak := k
+  done;
+  let lobe = Window.main_lobe_bins t.window in
+  (clamp t (!peak - lobe), clamp t (!peak + lobe))
+
+let tone_power t ~freq =
+  let lo, hi = tone_bins t ~freq in
+  let acc = ref 0.0 in
+  for k = lo to hi do
+    acc := !acc +. t.power.(k)
+  done;
+  !acc
+
+let psd_db t = Array.map Decibel.db_of_power_ratio t.power

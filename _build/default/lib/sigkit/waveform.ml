@@ -1,0 +1,39 @@
+let tone ~amplitude ~freq ~fs ?(phase = 0.0) n =
+  let w = 2.0 *. Float.pi *. freq /. fs in
+  Array.init n (fun i -> amplitude *. sin ((w *. float_of_int i) +. phase))
+
+let tone_dbm ~p_dbm ~freq ~fs ?(phase = 0.0) n =
+  tone ~amplitude:(Decibel.amplitude_of_dbm p_dbm) ~freq ~fs ~phase n
+
+let two_tone_dbm ~p_dbm ~f1 ~f2 ~fs n =
+  let a = Decibel.amplitude_of_dbm p_dbm in
+  let t1 = tone ~amplitude:a ~freq:f1 ~fs n in
+  let t2 = tone ~amplitude:a ~freq:f2 ~fs ~phase:(Float.pi /. 3.0) n in
+  Array.mapi (fun i x -> x +. t2.(i)) t1
+
+let add a b =
+  if Array.length a <> Array.length b then invalid_arg "Waveform.add: length mismatch";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let scale k = Array.map (fun x -> k *. x)
+
+let gaussian_noise rng ~sigma n = Array.init n (fun _ -> sigma *. Rng.gaussian rng)
+
+let rms x =
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. (v *. v)) x;
+  sqrt (!acc /. float_of_int (max 1 (Array.length x)))
+
+let peak x = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 x
+
+let mean x =
+  if Array.length x = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 x /. float_of_int (Array.length x)
+
+let coherent_frequency ~freq ~fs ~n =
+  let k = Float.round (freq *. float_of_int n /. fs) in
+  let k = if k < 1.0 then 1.0 else k in
+  (* Prefer an odd bin index: coherent-sampling practice. *)
+  let ki = int_of_float k in
+  let ki = if ki mod 2 = 0 then ki + 1 else ki in
+  float_of_int ki *. fs /. float_of_int n

@@ -1,0 +1,27 @@
+(** Test-signal generation and time-domain utilities. *)
+
+val tone : amplitude:float -> freq:float -> fs:float -> ?phase:float -> int -> float array
+(** [tone ~amplitude ~freq ~fs n] is [n] samples of a sinusoid. *)
+
+val tone_dbm : p_dbm:float -> freq:float -> fs:float -> ?phase:float -> int -> float array
+(** Sinusoid whose power into the 50-ohm reference load is [p_dbm]. *)
+
+val two_tone_dbm : p_dbm:float -> f1:float -> f2:float -> fs:float -> int -> float array
+(** Two equal-power tones, each at [p_dbm] (the classic IM3/SFDR
+    stimulus). *)
+
+val add : float array -> float array -> float array
+val scale : float -> float array -> float array
+
+val gaussian_noise : Rng.t -> sigma:float -> int -> float array
+
+val rms : float array -> float
+val peak : float array -> float
+
+val mean : float array -> float
+
+val coherent_frequency : freq:float -> fs:float -> n:int -> float
+(** Nearest frequency to [freq] that lands exactly on a bin of an
+    [n]-point FFT at rate [fs] (and is odd-indexed when possible, the
+    standard coherent-sampling choice that avoids harmonic aliasing onto
+    the carrier bin). *)

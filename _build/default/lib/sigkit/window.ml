@@ -1,0 +1,44 @@
+type kind =
+  | Rectangular
+  | Hann
+  | Hamming
+  | Blackman_harris
+
+let cosine_sum terms n =
+  let w = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+    let acc = ref 0.0 in
+    List.iteri (fun k a -> acc := !acc +. (a *. cos (float_of_int k *. x))) terms;
+    w.(i) <- !acc
+  done;
+  w
+
+let coefficients kind n =
+  match kind with
+  | Rectangular -> Array.make n 1.0
+  | Hann -> cosine_sum [ 0.5; -0.5 ] n
+  | Hamming -> cosine_sum [ 0.54; -0.46 ] n
+  | Blackman_harris -> cosine_sum [ 0.35875; -0.48829; 0.14128; -0.01168 ] n
+
+let apply kind x =
+  let w = coefficients kind (Array.length x) in
+  Array.mapi (fun i xi -> xi *. w.(i)) x
+
+let coherent_gain = function
+  | Rectangular -> 1.0
+  | Hann -> 0.5
+  | Hamming -> 0.54
+  | Blackman_harris -> 0.35875
+
+let noise_bandwidth = function
+  | Rectangular -> 1.0
+  | Hann -> 1.5
+  | Hamming -> 1.3628
+  | Blackman_harris -> 2.0044
+
+let main_lobe_bins = function
+  | Rectangular -> 1
+  | Hann -> 3
+  | Hamming -> 3
+  | Blackman_harris -> 5

@@ -1,0 +1,30 @@
+(** Spectral analysis windows.
+
+    Windows control the trade-off between spectral leakage and resolution
+    when estimating spectra of finite records.  The SNR/SFDR metrology uses
+    Hann by default, matching common ADC test practice (IEEE 1241). *)
+
+type kind =
+  | Rectangular
+  | Hann
+  | Hamming
+  | Blackman_harris  (** 4-term, -92 dB sidelobes *)
+
+val coefficients : kind -> int -> float array
+(** [coefficients kind n] returns the [n] window samples. *)
+
+val apply : kind -> float array -> float array
+(** Pointwise multiplication of a signal record by the window. *)
+
+val coherent_gain : kind -> float
+(** Mean window value: amplitude scaling experienced by a coherent tone. *)
+
+val noise_bandwidth : kind -> float
+(** Equivalent noise bandwidth in bins (ENBW); 1.0 for rectangular,
+    1.5 for Hann, ~2.0 for Blackman-Harris.  Needed to convert windowed
+    periodogram bins into unbiased band power. *)
+
+val main_lobe_bins : kind -> int
+(** Half-width (in bins) over which a windowed coherent tone spreads;
+    bins within this distance of a tone are attributed to the tone when
+    integrating signal power. *)

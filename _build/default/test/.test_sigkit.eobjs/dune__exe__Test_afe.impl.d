@@ -1,0 +1,1 @@
+test/test_afe.ml: Afe Alcotest Array Circuit Float Fun List QCheck QCheck_alcotest Result Sigkit

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Calibration Circuit Core Float List Metrics Printf Rfchain String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines List Netlist Printf QCheck QCheck_alcotest Rfchain Sigkit

@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Array Calibration Circuit Float List Metrics Netlist Printf Rfchain Sigkit String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Calibration Circuit Core Int64 List Metrics Printf QCheck QCheck_alcotest Result Rfchain String

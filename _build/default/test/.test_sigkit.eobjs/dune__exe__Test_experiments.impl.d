@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Calibration Core Experiments Lazy List Rfchain String

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Circuit Float List Metrics Printf QCheck QCheck_alcotest Rfchain Sigkit

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Netlist Printf QCheck QCheck_alcotest Result Sigkit

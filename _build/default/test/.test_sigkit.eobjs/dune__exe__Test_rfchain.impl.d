@@ -1,0 +1,1 @@
+test/test_rfchain.ml: Alcotest Array Circuit Float Gen List Metrics Printf QCheck QCheck_alcotest Result Rfchain Sigkit

@@ -1,0 +1,1 @@
+test/test_sigkit.ml: Alcotest Array Float Fun Gen List QCheck QCheck_alcotest Sigkit

@@ -1,0 +1,195 @@
+(* Tests for the prior-work baseline models and the comparison table. *)
+
+let rng () = Sigkit.Rng.create 2718
+
+let random_key r n = Array.init n (fun _ -> Sigkit.Rng.bool r)
+
+(* ----------------------------------------------------- Bias_obfuscation *)
+
+let test_bias_correct_key_clean () =
+  let b = Baselines.Bias_obfuscation.create (rng ()) ~key_bits:10 in
+  Alcotest.(check (float 1e-9)) "zero width error" 0.0
+    (Baselines.Bias_obfuscation.width_error b ~key:(Baselines.Bias_obfuscation.correct_key b));
+  Alcotest.(check (float 1e-9)) "zero penalty" 0.0
+    (Baselines.Bias_obfuscation.performance_penalty_db b
+       ~key:(Baselines.Bias_obfuscation.correct_key b))
+
+let test_bias_wrong_keys_penalised () =
+  let b = Baselines.Bias_obfuscation.create (rng ()) ~key_bits:10 in
+  let r = Sigkit.Rng.create 5 in
+  let penalties =
+    List.init 20 (fun _ -> Baselines.Bias_obfuscation.performance_penalty_db b ~key:(random_key r 10))
+  in
+  let mean = List.fold_left ( +. ) 0.0 penalties /. 20.0 in
+  Alcotest.(check bool) (Printf.sprintf "mean penalty > 5 dB (got %.1f)" mean) true (mean > 5.0)
+
+let test_bias_key_multiplicity_enumerable () =
+  let b = Baselines.Bias_obfuscation.create (rng ()) ~key_bits:10 in
+  let within = Baselines.Bias_obfuscation.keys_within_tolerance b ~tolerance:0.02 in
+  Alcotest.(check bool) "few keys within 2%" true (within >= 1 && within < 64)
+
+(* ---------------------------------------------------------- Mirror_lock *)
+
+let test_mirror_ratio () =
+  let m = Baselines.Mirror_lock.create (rng ()) ~key_bits:12 ~ratio:4.0 in
+  Alcotest.(check (float 1e-9)) "correct key hits the ratio" 0.0
+    (Baselines.Mirror_lock.ratio_error m ~key:(Baselines.Mirror_lock.correct_key m));
+  Alcotest.(check (float 1e-6)) "nominal current" 100.0
+    (Baselines.Mirror_lock.bias_current_ua m ~key:(Baselines.Mirror_lock.correct_key m)
+       ~nominal_ua:100.0)
+
+let test_mirror_wrong_key () =
+  let m = Baselines.Mirror_lock.create (rng ()) ~key_bits:12 ~ratio:4.0 in
+  let zero_key = Array.make 12 false in
+  Alcotest.(check bool) "all-off key misses the ratio" true
+    (Baselines.Mirror_lock.ratio_error m ~key:zero_key > 0.5)
+
+(* ------------------------------------------------------- Memristor_lock *)
+
+let test_memristor_bias () =
+  let m = Baselines.Memristor_lock.create (rng ()) ~rows:16 in
+  Alcotest.(check (float 1e-6)) "correct key gives 300 mV" 300.0
+    (Baselines.Memristor_lock.body_bias_mv m ~key:(Baselines.Memristor_lock.correct_key m));
+  Alcotest.(check (float 1e-9)) "zero offset penalty" 0.0
+    (Baselines.Memristor_lock.offset_penalty_mv m ~key:(Baselines.Memristor_lock.correct_key m))
+
+(* ---------------------------------------------------------- Neural_bias *)
+
+let test_neural_bias_training () =
+  let r = rng () in
+  let secret = [| 0.21; 0.83; 0.47; 0.64 |] in
+  let target = [| 0.5; 0.75 |] in
+  let net = Baselines.Neural_bias.train r ~key_voltages:secret ~target_biases:target in
+  let secret_err = Baselines.Neural_bias.bias_error net secret in
+  Alcotest.(check bool) (Printf.sprintf "secret key decodes (err %.4f)" secret_err) true
+    (secret_err < 0.05);
+  (* Random analog vectors decode to garbage. *)
+  let probe = Sigkit.Rng.create 9 in
+  let errs =
+    List.init 10 (fun _ ->
+        Baselines.Neural_bias.bias_error net (Array.init 4 (fun _ -> Sigkit.Rng.float probe)))
+  in
+  let mean = List.fold_left ( +. ) 0.0 errs /. 10.0 in
+  Alcotest.(check bool) (Printf.sprintf "wrong keys mis-bias (mean err %.3f)" mean) true
+    (mean > 4.0 *. secret_err)
+
+(* -------------------------------------------------------------- Mixlock *)
+
+let test_mixlock_corruption () =
+  let m = Baselines.Mixlock.create (rng ()) in
+  Alcotest.(check (float 1e-12)) "correct key clean" 0.0
+    (Baselines.Mixlock.output_error_rate m ~key:(Baselines.Mixlock.correct_key m));
+  let wrong = Array.map not (Baselines.Mixlock.correct_key m) in
+  Alcotest.(check bool) "wrong key corrupts the arithmetic" true
+    (Baselines.Mixlock.output_error_rate m ~key:wrong > 0.3);
+  Alcotest.(check bool) "SNR penalty follows" true
+    (Baselines.Mixlock.equivalent_snr_penalty_db m ~key:wrong > 20.0);
+  Alcotest.(check (float 1e-9)) "no penalty when clean" 0.0
+    (Baselines.Mixlock.equivalent_snr_penalty_db m ~key:(Baselines.Mixlock.correct_key m))
+
+let test_mixlock_removal_demo () =
+  let m = Baselines.Mixlock.create (rng ()) in
+  let recovered = Baselines.Mixlock.removal_demo m in
+  Alcotest.(check bool) "removal returns an unlocked netlist" true
+    (recovered.Netlist.Gate.n_key_inputs = 0)
+
+(* ------------------------------------------------------------ Calib_lock *)
+
+let test_calib_lock () =
+  let c = Baselines.Calib_lock.create (rng ()) in
+  let true_key = Rfchain.Config.nominal in
+  let clean =
+    Baselines.Calib_lock.corrupted_calibration c ~key:(Baselines.Calib_lock.correct_key c) ~true_key
+  in
+  Alcotest.(check bool) "correct key preserves calibration" true
+    (Rfchain.Config.equal clean true_key);
+  let wrong = Array.map not (Baselines.Calib_lock.correct_key c) in
+  let corrupted = Baselines.Calib_lock.corrupted_calibration c ~key:wrong ~true_key in
+  Alcotest.(check bool) "wrong key corrupts the tuning word" true
+    (Rfchain.Config.hamming_distance corrupted true_key > 0);
+  Alcotest.(check bool) "error-bit accounting" true
+    (Baselines.Calib_lock.tuning_error_bits c ~key:wrong > 0)
+
+(* -------------------------------------------------------------- Compare *)
+
+let test_compare_inventory () =
+  Alcotest.(check int) "seven techniques" 7 (List.length Baselines.Compare.all);
+  Alcotest.(check bool) "proposed scheme is last and non-intrusive" true
+    (let last = List.nth Baselines.Compare.all 6 in
+     last.Baselines.Technique.lock_site = Baselines.Technique.Programmable_fabric
+     && (not last.Baselines.Technique.design_intrusive)
+     && last.Baselines.Technique.area_overhead_pct = 0.0)
+
+let test_compare_probes () =
+  let probes = Baselines.Compare.corruption_probes () in
+  Alcotest.(check int) "five behavioural probes" 5 (List.length probes);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Baselines.Compare.technique ^ ": correct key clean")
+        true
+        (p.Baselines.Compare.zero_key_penalty_db < 1.0);
+      Alcotest.(check bool)
+        (p.Baselines.Compare.technique ^ ": wrong keys penalised")
+        true
+        (p.Baselines.Compare.wrong_key_penalty_db > 5.0))
+    probes
+
+let test_removal_analysis () =
+  let removable =
+    List.filter
+      (fun (_, v) -> match v with Baselines.Technique.Removable _ -> true | _ -> false)
+      (Baselines.Compare.removal_analysis ())
+  in
+  Alcotest.(check int) "four removable prior schemes" 4 (List.length removable)
+
+(* ------------------------------------------------------------ Properties *)
+
+let prop_mirror_error_nonneg =
+  QCheck.Test.make ~name:"mirror ratio error is non-negative" ~count:100
+    QCheck.(pair small_int (int_range 0 4095))
+    (fun (seed, key_int) ->
+      let m = Baselines.Mirror_lock.create (Sigkit.Rng.create seed) ~key_bits:12 ~ratio:4.0 in
+      let key = Array.init 12 (fun i -> key_int land (1 lsl i) <> 0) in
+      Baselines.Mirror_lock.ratio_error m ~key >= 0.0)
+
+let prop_bias_penalty_bounded =
+  QCheck.Test.make ~name:"bias penalty saturates at 60 dB" ~count:100
+    QCheck.(pair small_int (int_range 0 1023))
+    (fun (seed, key_int) ->
+      let b = Baselines.Bias_obfuscation.create (Sigkit.Rng.create seed) ~key_bits:10 in
+      let key = Array.init 10 (fun i -> key_int land (1 lsl i) <> 0) in
+      let p = Baselines.Bias_obfuscation.performance_penalty_db b ~key in
+      p >= 0.0 && p <= 60.0)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "baselines"
+    [
+      ( "bias obfuscation",
+        [
+          Alcotest.test_case "correct key clean" `Quick test_bias_correct_key_clean;
+          Alcotest.test_case "wrong keys penalised" `Quick test_bias_wrong_keys_penalised;
+          Alcotest.test_case "key multiplicity" `Quick test_bias_key_multiplicity_enumerable;
+        ] );
+      ( "mirror lock",
+        [
+          Alcotest.test_case "ratio" `Quick test_mirror_ratio;
+          Alcotest.test_case "wrong key" `Quick test_mirror_wrong_key;
+        ] );
+      ("memristor lock", [ Alcotest.test_case "body bias" `Quick test_memristor_bias ]);
+      ("neural bias", [ Alcotest.test_case "training separates keys" `Slow test_neural_bias_training ]);
+      ( "mixlock",
+        [
+          Alcotest.test_case "corruption" `Quick test_mixlock_corruption;
+          Alcotest.test_case "removal demo" `Quick test_mixlock_removal_demo;
+        ] );
+      ("calibration lock", [ Alcotest.test_case "corrupted calibration" `Quick test_calib_lock ]);
+      ( "comparison",
+        [
+          Alcotest.test_case "inventory" `Quick test_compare_inventory;
+          Alcotest.test_case "corruption probes" `Quick test_compare_probes;
+          Alcotest.test_case "removal analysis" `Quick test_removal_analysis;
+        ] );
+      ("properties", qcheck [ prop_mirror_error_nonneg; prop_bias_penalty_bounded ]);
+    ]

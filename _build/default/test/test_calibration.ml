@@ -1,0 +1,206 @@
+(* Tests for the 14-step calibration procedure. *)
+
+let std = Rfchain.Standards.max_frequency
+let rx_of seed = Rfchain.Receiver.create (Circuit.Process.fabricate ~seed ()) std
+
+let test_osc_config_modes () =
+  let cfg = Calibration.Osc_tune.oscillation_config Rfchain.Config.nominal in
+  Alcotest.(check bool) "comparator buffered" false cfg.Rfchain.Config.comp_clock_enable;
+  Alcotest.(check bool) "feedback open" false cfg.Rfchain.Config.fb_enable;
+  Alcotest.(check bool) "input off" false cfg.Rfchain.Config.gmin_enable;
+  Alcotest.(check bool) "observation buffer in" true cfg.Rfchain.Config.cal_buffer_enable;
+  Alcotest.(check int) "-Gm at maximum" 63 cfg.Rfchain.Config.gm_q
+
+let test_osc_tune_accuracy () =
+  let rx = rx_of 42 in
+  let result = Calibration.Osc_tune.run rx in
+  Alcotest.(check bool)
+    (Printf.sprintf "tuning error < 1 MHz (got %.0f kHz)" (result.Calibration.Osc_tune.freq_error_hz /. 1e3))
+    true
+    (result.Calibration.Osc_tune.freq_error_hz < 1e6);
+  (* The tuned tank must actually sit at f0. *)
+  let cfg =
+    {
+      Rfchain.Config.nominal with
+      cap_coarse = result.Calibration.Osc_tune.cap_coarse;
+      cap_fine = result.Calibration.Osc_tune.cap_fine;
+    }
+  in
+  let tank = Rfchain.Sdm.tank_frequency (Rfchain.Receiver.sdm_of_config rx cfg) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tank within 2 MHz of carrier (got %.1f MHz off)" ((tank -. 3e9) /. 1e6))
+    true
+    (Float.abs (tank -. 3e9) < 2e6)
+
+let test_osc_tune_backoff () =
+  let rx = rx_of 42 in
+  let result = Calibration.Osc_tune.run rx in
+  let sdm_at gm_q =
+    Rfchain.Receiver.sdm_of_config rx
+      {
+        Rfchain.Config.nominal with
+        cap_coarse = result.Calibration.Osc_tune.cap_coarse;
+        cap_fine = result.Calibration.Osc_tune.cap_fine;
+        gm_q;
+      }
+  in
+  Alcotest.(check bool) "backed-off code does not oscillate" false
+    (Rfchain.Sdm.oscillates (sdm_at result.Calibration.Osc_tune.gm_q));
+  Alcotest.(check bool) "one code above oscillates" true
+    (result.Calibration.Osc_tune.gm_q = 63
+    || Rfchain.Sdm.oscillates (sdm_at (result.Calibration.Osc_tune.gm_q + 1)))
+
+let test_osc_tune_per_chip () =
+  let r1 = Calibration.Osc_tune.run (rx_of 1) in
+  let r2 = Calibration.Osc_tune.run (rx_of 2) in
+  Alcotest.(check bool) "cap codes differ across dice" true
+    (r1.Calibration.Osc_tune.cap_coarse <> r2.Calibration.Osc_tune.cap_coarse
+    || r1.Calibration.Osc_tune.cap_fine <> r2.Calibration.Osc_tune.cap_fine)
+
+let test_osc_measurement_budget () =
+  let r = Calibration.Osc_tune.run (rx_of 42) in
+  (* Binary search over two 8-bit arrays plus the -Gm back-off must stay
+     well under exhaustive search (2 * 256 + 64 trials). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "measurement count reasonable (got %d)" r.Calibration.Osc_tune.measurements)
+    true
+    (r.Calibration.Osc_tune.measurements < 120)
+
+let test_coordinate_search_improves () =
+  (* A synthetic objective with a known optimum. *)
+  let target = 37 in
+  let objective c = -.Float.abs (float_of_int (c.Rfchain.Config.gmin_bias - target)) in
+  let outcome =
+    Calibration.Coordinate_search.maximize ~objective ~fields:[ "gmin_bias" ]
+      ~start:Rfchain.Config.nominal ~passes:4 ()
+  in
+  Alcotest.(check int) "finds the optimum" target
+    outcome.Calibration.Coordinate_search.best.Rfchain.Config.gmin_bias
+
+let test_coordinate_search_counts () =
+  let count = ref 0 in
+  let objective _ =
+    incr count;
+    0.0
+  in
+  let outcome =
+    Calibration.Coordinate_search.maximize ~objective ~fields:[ "gm_q" ]
+      ~start:Rfchain.Config.nominal ~passes:1 ()
+  in
+  Alcotest.(check int) "evaluation accounting" !count outcome.Calibration.Coordinate_search.evaluations
+
+let test_full_calibration_meets_spec () =
+  let rx = rx_of 1234 in
+  let report = Calibration.Calibrate.run rx in
+  Alcotest.(check bool)
+    (Printf.sprintf "SNR(mod) %.1f meets spec" report.Calibration.Calibrate.snr_mod_db)
+    true
+    (report.Calibration.Calibrate.snr_mod_db >= std.Rfchain.Standards.min_snr_db);
+  Alcotest.(check bool)
+    (Printf.sprintf "SNR(rx) %.1f meets spec" report.Calibration.Calibrate.snr_rx_db)
+    true
+    (report.Calibration.Calibrate.snr_rx_db >= std.Rfchain.Standards.min_snr_db);
+  Alcotest.(check bool)
+    (Printf.sprintf "SFDR %.1f meets spec" report.Calibration.Calibrate.sfdr_db)
+    true
+    (report.Calibration.Calibrate.sfdr_db >= std.Rfchain.Standards.min_sfdr_db);
+  Alcotest.(check bool) "normal-mode key" true
+    (report.Calibration.Calibrate.key.Rfchain.Config.fb_enable
+    && report.Calibration.Calibrate.key.Rfchain.Config.comp_clock_enable
+    && report.Calibration.Calibrate.key.Rfchain.Config.gmin_enable
+    && not report.Calibration.Calibrate.key.Rfchain.Config.cal_buffer_enable);
+  Alcotest.(check bool) "log records the steps" true (List.length report.Calibration.Calibrate.log >= 3)
+
+let test_calibration_other_standard () =
+  let rx = Rfchain.Receiver.create (Circuit.Process.fabricate ~seed:55 ()) Rfchain.Standards.bluetooth in
+  let report = Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false rx in
+  Alcotest.(check bool)
+    (Printf.sprintf "bluetooth SNR %.1f meets spec" report.Calibration.Calibrate.snr_mod_db)
+    true
+    (report.Calibration.Calibrate.snr_mod_db >= Rfchain.Standards.bluetooth.Rfchain.Standards.min_snr_db)
+
+let test_keys_unique_per_chip () =
+  let k1 = Calibration.Calibrate.quick (rx_of 101) in
+  let k2 = Calibration.Calibrate.quick (rx_of 102) in
+  Alcotest.(check bool) "calibrated keys differ between dice" false (Rfchain.Config.equal k1 k2)
+
+(* ------------------------------------------------------------- On-chip *)
+
+let test_onchip_reaches_spec () =
+  let rx = rx_of 42 in
+  let engine = Calibration.Onchip.create rx in
+  let config = Calibration.Onchip.run engine in
+  let bench = Metrics.Measure.create rx in
+  let snr = Metrics.Measure.snr_mod_db bench config in
+  Alcotest.(check bool) (Printf.sprintf "on-chip SNR %.1f meets spec" snr) true
+    (snr >= std.Rfchain.Standards.min_snr_db);
+  Alcotest.(check bool) "measurements counted" true (Calibration.Onchip.measurements engine > 20);
+  Alcotest.(check bool) "ALU operations counted" true (Calibration.Onchip.alu_operations engine > 50)
+
+let test_onchip_locked_correct_key () =
+  let rx = rx_of 42 in
+  let plain = Calibration.Onchip.run (Calibration.Onchip.create rx) in
+  let rng = Sigkit.Rng.create 99 in
+  let locked = Calibration.Onchip.lock_alu rng () in
+  let engine =
+    Calibration.Onchip.create_locked rx ~locked_alu:locked
+      ~key:locked.Netlist.Logic_lock.correct_key
+  in
+  Alcotest.(check bool) "correct key reproduces the plain run" true
+    (Rfchain.Config.equal (Calibration.Onchip.run engine) plain)
+
+let test_onchip_locked_wrong_key () =
+  let rx = rx_of 42 in
+  let rng = Sigkit.Rng.create 99 in
+  let locked = Calibration.Onchip.lock_alu rng () in
+  let wrong = Array.map not locked.Netlist.Logic_lock.correct_key in
+  let engine = Calibration.Onchip.create_locked rx ~locked_alu:locked ~key:wrong in
+  let config = Calibration.Onchip.run engine in
+  let bench = Metrics.Measure.create rx in
+  let snr = Metrics.Measure.snr_mod_db bench config in
+  Alcotest.(check bool) (Printf.sprintf "wrong key misconverges (%.1f dB)" snr) true
+    (snr < std.Rfchain.Standards.min_snr_db)
+
+let test_onchip_step_traces () =
+  let rx = rx_of 42 in
+  let engine = Calibration.Onchip.create rx in
+  (match Calibration.Onchip.step engine with
+  | Calibration.Onchip.Running phase ->
+    Alcotest.(check bool) "first phase is the coarse search" true
+      (String.length phase > 0 && String.sub phase 0 6 = "coarse")
+  | Calibration.Onchip.Done _ -> Alcotest.fail "cannot be done after one step");
+  ignore (Calibration.Onchip.run engine);
+  match Calibration.Onchip.step engine with
+  | Calibration.Onchip.Done _ -> ()
+  | Calibration.Onchip.Running _ -> Alcotest.fail "stays done after convergence"
+
+let () =
+  Alcotest.run "calibration"
+    [
+      ( "oscillation tuning",
+        [
+          Alcotest.test_case "mode bits" `Quick test_osc_config_modes;
+          Alcotest.test_case "accuracy" `Slow test_osc_tune_accuracy;
+          Alcotest.test_case "-Gm back-off" `Slow test_osc_tune_backoff;
+          Alcotest.test_case "per chip" `Slow test_osc_tune_per_chip;
+          Alcotest.test_case "measurement budget" `Slow test_osc_measurement_budget;
+        ] );
+      ( "coordinate search",
+        [
+          Alcotest.test_case "improves" `Quick test_coordinate_search_improves;
+          Alcotest.test_case "accounting" `Quick test_coordinate_search_counts;
+        ] );
+      ( "on-chip engine",
+        [
+          Alcotest.test_case "reaches spec" `Slow test_onchip_reaches_spec;
+          Alcotest.test_case "locked ALU, correct key" `Slow test_onchip_locked_correct_key;
+          Alcotest.test_case "locked ALU, wrong key" `Slow test_onchip_locked_wrong_key;
+          Alcotest.test_case "step tracing" `Slow test_onchip_step_traces;
+        ] );
+      ( "full procedure",
+        [
+          Alcotest.test_case "meets spec" `Slow test_full_calibration_meets_spec;
+          Alcotest.test_case "other standard" `Slow test_calibration_other_standard;
+          Alcotest.test_case "unique keys" `Slow test_keys_unique_per_chip;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the gate-level netlist engine and XOR logic locking. *)
+
+let eval_unlocked circuit inputs = Netlist.Gate.eval circuit ~key:[||] inputs
+
+let bits_of_int width v = Array.init width (fun i -> v land (1 lsl i) <> 0)
+
+let int_of_bits bits =
+  Array.to_list bits
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+(* ----------------------------------------------------------------- Gate *)
+
+let test_gate_truth_tables () =
+  let gate2 kind a b =
+    let circuit =
+      {
+        Netlist.Gate.n_inputs = 2;
+        n_key_inputs = 0;
+        n_nets = 3;
+        gates = [ { Netlist.Gate.kind; inputs = [ 0; 1 ]; output = 2 } ];
+        outputs = [ 2 ];
+      }
+    in
+    (eval_unlocked circuit [| a; b |]).(0)
+  in
+  Alcotest.(check bool) "and" true (gate2 Netlist.Gate.And true true);
+  Alcotest.(check bool) "and f" false (gate2 Netlist.Gate.And true false);
+  Alcotest.(check bool) "or" true (gate2 Netlist.Gate.Or false true);
+  Alcotest.(check bool) "xor" true (gate2 Netlist.Gate.Xor true false);
+  Alcotest.(check bool) "xor same" false (gate2 Netlist.Gate.Xor true true);
+  Alcotest.(check bool) "xnor" true (gate2 Netlist.Gate.Xnor true true);
+  Alcotest.(check bool) "nand" false (gate2 Netlist.Gate.Nand true true);
+  Alcotest.(check bool) "nor" true (gate2 Netlist.Gate.Nor false false)
+
+let test_gate_arity_check () =
+  let circuit =
+    {
+      Netlist.Gate.n_inputs = 2;
+      n_key_inputs = 0;
+      n_nets = 3;
+      gates = [ { Netlist.Gate.kind = Netlist.Gate.And; inputs = [ 0; 1 ]; output = 2 } ];
+      outputs = [ 2 ];
+    }
+  in
+  Alcotest.check_raises "wrong input arity" (Invalid_argument "Gate.eval: input arity") (fun () ->
+      ignore (eval_unlocked circuit [| true |]))
+
+let test_validate_catches_bad_topology () =
+  let bad =
+    {
+      Netlist.Gate.n_inputs = 1;
+      n_key_inputs = 0;
+      n_nets = 3;
+      gates =
+        [
+          (* Gate 2 reads net 1, which is only driven later. *)
+          { Netlist.Gate.kind = Netlist.Gate.Not; inputs = [ 1 ]; output = 2 };
+          { Netlist.Gate.kind = Netlist.Gate.Not; inputs = [ 0 ]; output = 1 };
+        ];
+      outputs = [ 2 ];
+    }
+  in
+  Alcotest.(check bool) "topology violation detected" true (Result.is_error (Netlist.Gate.validate bad))
+
+(* ------------------------------------------------------- Bench_circuits *)
+
+let test_adder_correct () =
+  let w = 8 in
+  let adder = Netlist.Bench_circuits.ripple_adder w in
+  Alcotest.(check bool) "well formed" true (Result.is_ok (Netlist.Gate.validate adder));
+  List.iter
+    (fun (a, b) ->
+      let inputs = Array.append (bits_of_int w a) (bits_of_int w b) in
+      let sum = int_of_bits (eval_unlocked adder inputs) in
+      Alcotest.(check int) (Printf.sprintf "%d + %d" a b) (a + b) sum)
+    [ (0, 0); (1, 1); (255, 255); (170, 85); (200, 56) ]
+
+let test_decoder_one_hot () =
+  let w = 3 in
+  let dec = Netlist.Bench_circuits.decoder w in
+  Alcotest.(check bool) "well formed" true (Result.is_ok (Netlist.Gate.validate dec));
+  for v = 0 to 7 do
+    let out = eval_unlocked dec (bits_of_int w v) in
+    Array.iteri
+      (fun i bit -> Alcotest.(check bool) (Printf.sprintf "line %d for %d" i v) (i = v) bit)
+      out
+  done
+
+let test_random_logic_valid () =
+  let rng = Sigkit.Rng.create 10 in
+  for _ = 1 to 20 do
+    let c = Netlist.Bench_circuits.random_logic rng ~n_inputs:6 ~n_gates:40 in
+    Alcotest.(check bool) "random netlist well formed" true (Result.is_ok (Netlist.Gate.validate c))
+  done
+
+(* ------------------------------------------------------------ Logic_lock *)
+
+let test_lock_correct_key_transparent () =
+  let rng = Sigkit.Rng.create 3 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits:12 in
+  Alcotest.(check bool) "locked netlist well formed" true
+    (Result.is_ok (Netlist.Gate.validate locked.Netlist.Logic_lock.circuit));
+  Alcotest.(check (float 1e-12)) "zero corruption under the correct key" 0.0
+    (Netlist.Logic_lock.corruption locked ~key:locked.Netlist.Logic_lock.correct_key)
+
+let test_lock_wrong_key_corrupts () =
+  let rng = Sigkit.Rng.create 3 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits:12 in
+  let wrong = Array.map not locked.Netlist.Logic_lock.correct_key in
+  Alcotest.(check bool) "all-flipped key corrupts heavily" true
+    (Netlist.Logic_lock.corruption locked ~key:wrong > 0.5)
+
+let test_lock_single_bit_corrupts () =
+  let rng = Sigkit.Rng.create 4 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits:8 in
+  let one_off = Array.copy locked.Netlist.Logic_lock.correct_key in
+  one_off.(3) <- not one_off.(3);
+  Alcotest.(check bool) "one wrong bit already corrupts" true
+    (Netlist.Logic_lock.corruption locked ~key:one_off > 0.0)
+
+let test_removal_attack_restores () =
+  let rng = Sigkit.Rng.create 5 in
+  let original = Netlist.Bench_circuits.ripple_adder 6 in
+  let locked = Netlist.Logic_lock.lock rng original ~key_bits:6 in
+  let recovered = Netlist.Logic_lock.removal_attack locked in
+  let probe = Sigkit.Rng.create 77 in
+  for _ = 1 to 100 do
+    let inputs = Netlist.Gate.random_inputs probe original in
+    Alcotest.(check bool) "removal recovers the function" true
+      (eval_unlocked recovered inputs = eval_unlocked original inputs)
+  done
+
+let test_oracle_attack_small_key () =
+  let rng = Sigkit.Rng.create 6 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 6) ~key_bits:6 in
+  match Netlist.Logic_lock.oracle_attack ~seed:9 ~budget:10_000 locked with
+  | `Found (key, trials) ->
+    Alcotest.(check (float 1e-12)) "found key is functionally correct" 0.0
+      (Netlist.Logic_lock.corruption locked ~key);
+    Alcotest.(check bool) "within budget" true (trials <= 10_000)
+  | `Exhausted _ -> Alcotest.fail "6-bit key must fall to random search"
+
+let test_lock_rejects_double_lock () =
+  let rng = Sigkit.Rng.create 8 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 6) ~key_bits:4 in
+  Alcotest.check_raises "cannot lock twice" (Invalid_argument "Logic_lock.lock: already locked")
+    (fun () -> ignore (Netlist.Logic_lock.lock rng locked.Netlist.Logic_lock.circuit ~key_bits:4))
+
+(* ------------------------------------------------------------ Properties *)
+
+let prop_adder_matches_int_addition =
+  QCheck.Test.make ~name:"ripple adder computes addition" ~count:200
+    QCheck.(pair (int_range 0 65535) (int_range 0 65535))
+    (fun (a, b) ->
+      let w = 16 in
+      let adder = Netlist.Bench_circuits.ripple_adder w in
+      let inputs = Array.append (bits_of_int w a) (bits_of_int w b) in
+      int_of_bits (eval_unlocked adder inputs) = a + b)
+
+let prop_correct_key_always_transparent =
+  QCheck.Test.make ~name:"correct key never corrupts" ~count:25
+    QCheck.(pair small_int (int_range 2 16))
+    (fun (seed, key_bits) ->
+      let rng = Sigkit.Rng.create seed in
+      let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits in
+      Netlist.Logic_lock.corruption ~samples:64 locked ~key:locked.Netlist.Logic_lock.correct_key
+      = 0.0)
+
+let prop_random_logic_deterministic =
+  QCheck.Test.make ~name:"netlist evaluation is deterministic" ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Sigkit.Rng.create seed in
+      let c = Netlist.Bench_circuits.random_logic rng ~n_inputs:5 ~n_gates:30 in
+      let probe = Sigkit.Rng.create (seed + 1) in
+      let inputs = Netlist.Gate.random_inputs probe c in
+      eval_unlocked c inputs = eval_unlocked c inputs)
+
+(* ------------------------------------------------------------ Sat_attack *)
+
+let test_sat_attack_recovers_key () =
+  let rng = Sigkit.Rng.create 5 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits:14 in
+  let r = Netlist.Sat_attack.run ~seed:21 locked in
+  (match r.Netlist.Sat_attack.found_key with
+  | Some key ->
+    Alcotest.(check (float 1e-12)) "recovered key is functionally correct" 0.0
+      (Netlist.Logic_lock.corruption locked ~key)
+  | None -> Alcotest.fail "SAT attack must break a 14-bit combinational lock");
+  Alcotest.(check bool)
+    (Printf.sprintf "few oracle queries (got %d)" r.Netlist.Sat_attack.oracle_queries)
+    true
+    (r.Netlist.Sat_attack.oracle_queries <= 64)
+
+let test_sat_attack_prunes_to_equivalence () =
+  let rng = Sigkit.Rng.create 6 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 6) ~key_bits:10 in
+  let r = Netlist.Sat_attack.run ~seed:22 locked in
+  Alcotest.(check bool) "candidate set collapses" true (r.Netlist.Sat_attack.candidates_left <= 4)
+
+let test_sat_attack_rejects_large_keys () =
+  let rng = Sigkit.Rng.create 7 in
+  let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 16) ~key_bits:24 in
+  Alcotest.check_raises "refuses 24-bit enumeration"
+    (Invalid_argument "Sat_attack.run: key space too large to enumerate") (fun () ->
+      ignore (Netlist.Sat_attack.run ~seed:23 locked))
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "netlist"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_truth_tables;
+          Alcotest.test_case "arity checks" `Quick test_gate_arity_check;
+          Alcotest.test_case "validate topology" `Quick test_validate_catches_bad_topology;
+        ] );
+      ( "bench circuits",
+        [
+          Alcotest.test_case "ripple adder" `Quick test_adder_correct;
+          Alcotest.test_case "decoder one-hot" `Quick test_decoder_one_hot;
+          Alcotest.test_case "random logic valid" `Quick test_random_logic_valid;
+        ] );
+      ( "sat attack",
+        [
+          Alcotest.test_case "recovers the key" `Quick test_sat_attack_recovers_key;
+          Alcotest.test_case "prunes to equivalence" `Quick test_sat_attack_prunes_to_equivalence;
+          Alcotest.test_case "rejects large key spaces" `Quick test_sat_attack_rejects_large_keys;
+        ] );
+      ( "logic lock",
+        [
+          Alcotest.test_case "correct key transparent" `Quick test_lock_correct_key_transparent;
+          Alcotest.test_case "wrong key corrupts" `Quick test_lock_wrong_key_corrupts;
+          Alcotest.test_case "single bit corrupts" `Quick test_lock_single_bit_corrupts;
+          Alcotest.test_case "removal restores" `Quick test_removal_attack_restores;
+          Alcotest.test_case "oracle attack small key" `Quick test_oracle_attack_small_key;
+          Alcotest.test_case "double lock rejected" `Quick test_lock_rejects_double_lock;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_adder_matches_int_addition;
+            prop_correct_key_always_transparent;
+            prop_random_logic_deterministic;
+          ] );
+    ]

@@ -1,0 +1,323 @@
+(* Unit and property tests for the DSP substrate. *)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (close ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Sigkit.Rng.create 1 and b = Sigkit.Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sigkit.Rng.bits64 a) (Sigkit.Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Sigkit.Rng.create 1 and b = Sigkit.Rng.create 2 in
+  Alcotest.(check bool) "different seeds" true (Sigkit.Rng.bits64 a <> Sigkit.Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let root = Sigkit.Rng.create 7 in
+  let a = Sigkit.Rng.split root "a" and b = Sigkit.Rng.split root "b" in
+  Alcotest.(check bool) "split streams differ" true
+    (Sigkit.Rng.bits64 a <> Sigkit.Rng.bits64 b);
+  (* Splitting must not disturb the parent stream. *)
+  let r1 = Sigkit.Rng.create 7 in
+  let _ = Sigkit.Rng.split r1 "x" in
+  let r2 = Sigkit.Rng.create 7 in
+  Alcotest.(check int64) "parent undisturbed" (Sigkit.Rng.bits64 r2) (Sigkit.Rng.bits64 r1)
+
+let test_rng_float_range () =
+  let rng = Sigkit.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Sigkit.Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Sigkit.Rng.create 11 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = Sigkit.Rng.gaussian rng in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check_close ~eps:0.03 "gaussian mean" 0.0 mean;
+  check_close ~eps:0.03 "gaussian variance" 1.0 var
+
+let test_rng_int_range () =
+  let rng = Sigkit.Rng.create 5 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    let v = Sigkit.Rng.int_range rng 2 7 in
+    if v < 2 || v > 7 then Alcotest.failf "int_range out of bounds: %d" v;
+    seen.(v - 2) <- true
+  done;
+  Alcotest.(check bool) "all values reached" true (Array.for_all Fun.id seen)
+
+(* -------------------------------------------------------------- Decibel *)
+
+let test_db_roundtrip () =
+  List.iter
+    (fun db ->
+      check_close ~eps:1e-9 "db roundtrip" db
+        (Sigkit.Decibel.db_of_power_ratio (Sigkit.Decibel.power_ratio_of_db db)))
+    [ -120.0; -3.0; 0.0; 10.0; 96.0 ]
+
+let test_dbm_amplitude () =
+  (* 0 dBm into 50 ohm is a 316.2 mV peak sinusoid. *)
+  check_close ~eps:1e-4 "0 dBm amplitude" 0.31623 (Sigkit.Decibel.amplitude_of_dbm 0.0);
+  List.iter
+    (fun dbm ->
+      check_close ~eps:1e-9 "dbm roundtrip" dbm
+        (Sigkit.Decibel.dbm_of_amplitude (Sigkit.Decibel.amplitude_of_dbm dbm)))
+    [ -85.0; -25.0; 0.0; 10.0 ]
+
+let test_db_negative_ratio () =
+  Alcotest.(check bool) "log of 0 is -inf" true
+    (Sigkit.Decibel.db_of_power_ratio 0.0 = neg_infinity);
+  Alcotest.(check bool) "log of negative is -inf" true
+    (Sigkit.Decibel.db_of_power_ratio (-1.0) = neg_infinity)
+
+(* --------------------------------------------------------------- Window *)
+
+let test_window_gains () =
+  List.iter
+    (fun (kind, gain) ->
+      let w = Sigkit.Window.coefficients kind 4096 in
+      let mean = Array.fold_left ( +. ) 0.0 w /. 4096.0 in
+      check_close ~eps:1e-3 "coherent gain" gain mean)
+    [
+      (Sigkit.Window.Rectangular, 1.0);
+      (Sigkit.Window.Hann, 0.5);
+      (Sigkit.Window.Hamming, 0.54);
+      (Sigkit.Window.Blackman_harris, 0.35875);
+    ]
+
+let test_window_apply_length () =
+  let x = Array.make 128 1.0 in
+  let y = Sigkit.Window.apply Sigkit.Window.Hann x in
+  Alcotest.(check int) "length preserved" 128 (Array.length y);
+  check_close ~eps:1e-12 "edge sample is zero" 0.0 y.(0)
+
+(* ------------------------------------------------------------------ Fft *)
+
+let test_fft_pow2 () =
+  Alcotest.(check bool) "1024 is pow2" true (Sigkit.Fft.is_pow2 1024);
+  Alcotest.(check bool) "1000 is not" false (Sigkit.Fft.is_pow2 1000);
+  Alcotest.(check int) "next pow2" 1024 (Sigkit.Fft.next_pow2 1000)
+
+let test_fft_impulse () =
+  (* The transform of a unit impulse is flat. *)
+  let n = 64 in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Sigkit.Fft.forward re im;
+  Array.iter (fun v -> check_close ~eps:1e-12 "flat re" 1.0 v) re;
+  Array.iter (fun v -> check_close ~eps:1e-12 "flat im" 0.0 v) im
+
+let test_fft_roundtrip () =
+  let rng = Sigkit.Rng.create 99 in
+  let n = 256 in
+  let x = Array.init n (fun _ -> Sigkit.Rng.gaussian rng) in
+  let re, im = Sigkit.Fft.of_real x in
+  Sigkit.Fft.forward re im;
+  Sigkit.Fft.inverse re im;
+  Array.iteri (fun i v -> check_close ~eps:1e-9 "roundtrip" x.(i) v) re
+
+let test_fft_parseval () =
+  let rng = Sigkit.Rng.create 17 in
+  let n = 512 in
+  let x = Array.init n (fun _ -> Sigkit.Rng.gaussian rng) in
+  let time_energy = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x in
+  let re, im = Sigkit.Fft.of_real x in
+  Sigkit.Fft.forward re im;
+  let freq_energy =
+    Array.fold_left ( +. ) 0.0 (Sigkit.Fft.magnitude_squared re im) /. float_of_int n
+  in
+  check_close ~eps:1e-6 "parseval" time_energy freq_energy
+
+let test_fft_sine_bin () =
+  let n = 1024 and k = 37 in
+  let x = Array.init n (fun i -> sin (2.0 *. Float.pi *. float_of_int (k * i) /. float_of_int n)) in
+  let re, im = Sigkit.Fft.of_real x in
+  Sigkit.Fft.forward re im;
+  let mag = Sigkit.Fft.magnitude_squared re im in
+  let peak = ref 0 in
+  for i = 1 to (n / 2) - 1 do
+    if mag.(i) > mag.(!peak) then peak := i
+  done;
+  Alcotest.(check int) "sine lands on its bin" k !peak
+
+let test_fft_rejects_bad_length () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "length mismatch" true
+    (raises (fun () -> Sigkit.Fft.forward (Array.make 8 0.0) (Array.make 4 0.0)));
+  Alcotest.(check bool) "non-pow2" true
+    (raises (fun () -> Sigkit.Fft.forward (Array.make 12 0.0) (Array.make 12 0.0)))
+
+(* ------------------------------------------------------------- Spectrum *)
+
+let test_spectrum_tone_power () =
+  let fs = 1e6 and n = 4096 in
+  let freq = Sigkit.Waveform.coherent_frequency ~freq:100e3 ~fs ~n in
+  let x = Sigkit.Waveform.tone ~amplitude:1.0 ~freq ~fs n in
+  let spec = Sigkit.Spectrum.periodogram ~fs x in
+  let tone = Sigkit.Spectrum.tone_power spec ~freq in
+  let total = Sigkit.Spectrum.band_power spec ~f_lo:0.0 ~f_hi:(fs /. 2.0) in
+  Alcotest.(check bool) "tone carries nearly all power" true (tone /. total > 0.999)
+
+let test_spectrum_band_split () =
+  let fs = 1e6 and n = 4096 in
+  let f1 = Sigkit.Waveform.coherent_frequency ~freq:100e3 ~fs ~n in
+  let f2 = Sigkit.Waveform.coherent_frequency ~freq:400e3 ~fs ~n in
+  let x =
+    Sigkit.Waveform.add
+      (Sigkit.Waveform.tone ~amplitude:1.0 ~freq:f1 ~fs n)
+      (Sigkit.Waveform.tone ~amplitude:0.5 ~freq:f2 ~fs n)
+  in
+  let spec = Sigkit.Spectrum.periodogram ~fs x in
+  let p1 = Sigkit.Spectrum.band_power spec ~f_lo:50e3 ~f_hi:150e3 in
+  let p2 = Sigkit.Spectrum.band_power spec ~f_lo:350e3 ~f_hi:450e3 in
+  check_close ~eps:0.05 "4:1 power split" 4.0 (p1 /. p2)
+
+let test_spectrum_exclusion () =
+  let fs = 1e6 and n = 4096 in
+  let freq = Sigkit.Waveform.coherent_frequency ~freq:100e3 ~fs ~n in
+  let x = Sigkit.Waveform.tone ~amplitude:1.0 ~freq ~fs n in
+  let spec = Sigkit.Spectrum.periodogram ~fs x in
+  let bins = Sigkit.Spectrum.tone_bins spec ~freq in
+  let residual =
+    Sigkit.Spectrum.band_power_excluding spec ~f_lo:0.0 ~f_hi:(fs /. 2.0) ~exclude:[ bins ]
+  in
+  let tone = Sigkit.Spectrum.tone_power spec ~freq in
+  Alcotest.(check bool) "exclusion removes the tone" true (residual < tone /. 1000.0)
+
+let test_spectrum_peak () =
+  let fs = 1e6 and n = 1024 in
+  let freq = Sigkit.Waveform.coherent_frequency ~freq:200e3 ~fs ~n in
+  let x = Sigkit.Waveform.tone ~amplitude:1.0 ~freq ~fs n in
+  let spec = Sigkit.Spectrum.periodogram ~fs x in
+  let bin, _ = Sigkit.Spectrum.peak_in_band spec ~f_lo:0.0 ~f_hi:(fs /. 2.0) in
+  check_close ~eps:(fs /. float_of_int n) "peak at tone" freq (Sigkit.Spectrum.freq_of_bin spec bin)
+
+(* ------------------------------------------------------------- Waveform *)
+
+let test_waveform_rms () =
+  let fs = 1e6 and n = 1000 in
+  let x = Sigkit.Waveform.tone ~amplitude:2.0 ~freq:10e3 ~fs n in
+  check_close ~eps:0.01 "sine rms" (2.0 /. sqrt 2.0) (Sigkit.Waveform.rms x)
+
+let test_waveform_two_tone () =
+  let fs = 1e6 in
+  let x = Sigkit.Waveform.two_tone_dbm ~p_dbm:0.0 ~f1:50e3 ~f2:60e3 ~fs 4096 in
+  let single = Sigkit.Waveform.tone_dbm ~p_dbm:0.0 ~freq:50e3 ~fs 4096 in
+  (* Two equal tones carry twice the power of one. *)
+  let p x = Sigkit.Waveform.rms x ** 2.0 in
+  check_close ~eps:0.05 "two-tone power" 2.0 (p x /. p single)
+
+let test_coherent_frequency () =
+  let f = Sigkit.Waveform.coherent_frequency ~freq:100e3 ~fs:1e6 ~n:1024 in
+  let k = f *. 1024.0 /. 1e6 in
+  check_close ~eps:1e-9 "integer bin" (Float.round k) k;
+  Alcotest.(check bool) "odd bin" true (int_of_float k mod 2 = 1)
+
+(* ------------------------------------------------------------ Properties *)
+
+let prop_fft_linearity =
+  QCheck.Test.make ~name:"fft is linear" ~count:50
+    QCheck.(pair (list_of_size (Gen.return 64) (float_range (-10.) 10.)) (float_range (-5.) 5.))
+    (fun (xs, k) ->
+      let x = Array.of_list xs in
+      let n = Array.length x in
+      n = 64
+      && begin
+           let re1, im1 = Sigkit.Fft.of_real x in
+           Sigkit.Fft.forward re1 im1;
+           let scaled = Array.map (fun v -> k *. v) x in
+           let re2, im2 = Sigkit.Fft.of_real scaled in
+           Sigkit.Fft.forward re2 im2;
+           Array.for_all2 (fun a b -> Float.abs ((k *. a) -. b) < 1e-6 *. (1.0 +. Float.abs b)) re1 re2
+         end)
+
+let prop_db_monotonic =
+  QCheck.Test.make ~name:"db_of_power_ratio is monotonic" ~count:200
+    QCheck.(pair (float_range 1e-6 1e6) (float_range 1e-6 1e6))
+    (fun (a, b) ->
+      let da = Sigkit.Decibel.db_of_power_ratio a and db = Sigkit.Decibel.db_of_power_ratio b in
+      (a < b && da < db) || (a > b && da > db) || a = b)
+
+let prop_rng_int_range_bounds =
+  QCheck.Test.make ~name:"int_range stays in bounds" ~count:500
+    QCheck.(pair small_int (pair (int_range (-100) 100) (int_range 0 100)))
+    (fun (seed, (lo, span)) ->
+      let rng = Sigkit.Rng.create seed in
+      let v = Sigkit.Rng.int_range rng lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_window_bounded =
+  QCheck.Test.make ~name:"window coefficients bounded" ~count:50
+    QCheck.(int_range 4 512)
+    (fun n ->
+      List.for_all
+        (fun kind ->
+          Array.for_all
+            (fun w -> w >= -0.01 && w <= 1.01)
+            (Sigkit.Window.coefficients kind n))
+        [ Sigkit.Window.Rectangular; Sigkit.Window.Hann; Sigkit.Window.Hamming;
+          Sigkit.Window.Blackman_harris ])
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sigkit"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+        ] );
+      ( "decibel",
+        [
+          Alcotest.test_case "db roundtrip" `Quick test_db_roundtrip;
+          Alcotest.test_case "dbm amplitude" `Quick test_dbm_amplitude;
+          Alcotest.test_case "degenerate ratios" `Quick test_db_negative_ratio;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "coherent gains" `Quick test_window_gains;
+          Alcotest.test_case "apply" `Quick test_window_apply_length;
+        ] );
+      ( "fft",
+        [
+          Alcotest.test_case "pow2 helpers" `Quick test_fft_pow2;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "sine bin" `Quick test_fft_sine_bin;
+          Alcotest.test_case "bad input" `Quick test_fft_rejects_bad_length;
+        ] );
+      ( "spectrum",
+        [
+          Alcotest.test_case "tone power" `Quick test_spectrum_tone_power;
+          Alcotest.test_case "band split" `Quick test_spectrum_band_split;
+          Alcotest.test_case "exclusion" `Quick test_spectrum_exclusion;
+          Alcotest.test_case "peak search" `Quick test_spectrum_peak;
+        ] );
+      ( "waveform",
+        [
+          Alcotest.test_case "rms" `Quick test_waveform_rms;
+          Alcotest.test_case "two-tone power" `Quick test_waveform_two_tone;
+          Alcotest.test_case "coherent frequency" `Quick test_coherent_frequency;
+        ] );
+      ( "properties",
+        qcheck [ prop_fft_linearity; prop_db_monotonic; prop_rng_int_range_bounds; prop_window_bounded ] );
+    ]
