@@ -1,0 +1,20 @@
+.PHONY: all build test faults-smoke ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# End-to-end smoke of the stress campaign: must exit 0 with every
+# campaign check passing (grep fails the target on any [FAIL] line).
+faults-smoke:
+	dune exec bin/repro.exe -- faults --seed 42 --standard bluetooth | tee /tmp/faults-smoke.out
+	! grep -q '\[FAIL\]' /tmp/faults-smoke.out
+
+ci: build test faults-smoke
+
+clean:
+	dune clean

@@ -96,7 +96,7 @@ let bench_lot_die () =
   incr lot_counter;
   let chip = Circuit.Process.fabricate ~seed:(50_000 + !lot_counter) () in
   let rx = Rfchain.Receiver.create chip Rfchain.Standards.max_frequency in
-  ignore (Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false rx)
+  ignore (Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false ~max_retries:0 rx)
 
 (* ONCHIP kernel: one gate-level ALU comparison (the self-calibration
    engine's inner operation). *)
@@ -108,6 +108,16 @@ let bench_onchip_alu () =
     (Netlist.Gate.eval locked.Netlist.Logic_lock.circuit
        ~key:locked.Netlist.Logic_lock.correct_key
        (Array.init 32 (fun i -> i land 1 = 0)))
+
+(* FAULTS kernel: one stress-campaign cell — the golden key measured on
+   a faulted copy of the die (the inner loop of `repro faults`). *)
+let bench_faults_cell () =
+  let c = Lazy.force ctx in
+  let rx_faulted =
+    Faults.Inject.receiver c.Experiments.Context.chip c.Experiments.Context.standard
+      [ Faults.Fault.pvt Faults.Fault.Moderate ]
+  in
+  ignore (Metrics.Measure.snr_mod_db (Metrics.Measure.create rx_faulted) c.Experiments.Context.golden)
 
 (* GENERALITY kernel: one AFE characterisation. *)
 let afe_fixture = lazy (Afe.Afe_chain.create (Circuit.Process.fabricate ~seed:9001 ()))
@@ -128,6 +138,7 @@ let tests =
     Test.make ~name:"calibration:osc-tune" (Staged.stage bench_osc_tune);
     Test.make ~name:"lot:die-calibration" (Staged.stage bench_lot_die);
     Test.make ~name:"onchip:alu-evaluation" (Staged.stage bench_onchip_alu);
+    Test.make ~name:"faults:campaign-cell" (Staged.stage bench_faults_cell);
     Test.make ~name:"generality:afe-measure" (Staged.stage bench_afe_measure);
   ]
 
@@ -206,6 +217,10 @@ let run_harness () =
     (Experiments.Avalanche.checks c avalanche);
   print_newline ();
   Experiments.Lot_study.print (Experiments.Lot_study.run ~lot:4 ~seed_base:6000 c.Experiments.Context.standard);
+  print_newline ();
+  (match Faults.Campaign.run ~dies:2 ~seed:c.Experiments.Context.seed c.Experiments.Context.standard with
+  | Ok campaign -> Faults.Report.print campaign
+  | Error e -> print_endline (Faults.Error.to_string e));
   print_newline ();
   Experiments.Generality.print (Experiments.Generality.run ())
 

@@ -22,13 +22,16 @@ let budget_arg =
   let doc = "Trial budget per empirical attack." in
   Arg.(value & opt int 400 & info [ "budget" ] ~docv:"N" ~doc)
 
+let find_standard_or_exit name =
+  match Rfchain.Standards.find_opt name with
+  | Some standard -> standard
+  | None ->
+    Printf.eprintf "unknown standard %s\nknown standards: %s\n" name
+      (String.concat ", " Rfchain.Standards.names);
+    exit 2
+
 let context ~seed ~standard =
-  let standard =
-    try Rfchain.Standards.find standard
-    with Not_found ->
-      Printf.eprintf "unknown standard %s\n" standard;
-      exit 2
-  in
+  let standard = find_standard_or_exit standard in
   Printf.printf "calibrating die %d for %s ...\n%!" seed standard.Rfchain.Standards.name;
   let ctx = Experiments.Context.create ~seed ~standard () in
   Printf.printf "calibrated: SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB (%d trials)\n\n%!"
@@ -79,14 +82,20 @@ let calibrate seed standard =
   Format.printf "%a@." Rfchain.Config.pp ctx.Experiments.Context.golden
 
 let lot seed standard =
-  let standard_t =
-    try Rfchain.Standards.find standard
-    with Not_found ->
-      Printf.eprintf "unknown standard %s\n" standard;
-      exit 2
-  in
+  let standard_t = find_standard_or_exit standard in
   Printf.printf "calibrating an 8-die lot (seed base %d) ...\n%!" seed;
   Experiments.Lot_study.print (Experiments.Lot_study.run ~seed_base:seed standard_t)
+
+let faults seed standard dies json =
+  (* The campaign layer is exception-free by construction: every
+     failure mode comes back as data and the command exits 0, printing
+     the degraded reports it found. *)
+  match Faults.Campaign.run_by_name ~dies ~seed standard with
+  | Error e ->
+    Printf.eprintf "%s\n" (Faults.Error.to_string e);
+    exit 2
+  | Ok campaign ->
+    if json then Faults.Report.print_json campaign else Faults.Report.print campaign
 
 let onchip seed standard =
   let ctx = context ~seed ~standard in
@@ -168,6 +177,19 @@ let commands =
     cmd_of "lot" "Monte-Carlo production-lot study (yield, key uniqueness, transfer)" lot;
     cmd_of "onchip" "On-chip self-calibration and calibration-loop locking [10]" onchip;
     cmd_of "aging" "Aging drift and recycled-part detection study" aging;
+    (let dies_arg =
+       let doc = "Number of dies in the stress lot." in
+       Arg.(value & opt int 3 & info [ "dies" ] ~docv:"N" ~doc)
+     in
+     let json_arg =
+       let doc = "Emit machine-readable JSON lines instead of ASCII tables." in
+       Arg.(value & flag & info [ "json" ] ~doc)
+     in
+     Cmd.v
+       (Cmd.info "faults"
+          ~doc:"Fault-injection stress campaign: lock margins, bit-corruption cliff, degraded \
+                calibration")
+       Term.(const faults $ seed_arg $ standard_arg $ dies_arg $ json_arg));
     cmd_of "avalanche" "SNR collapse vs key Hamming distance; per-bit key strength" avalanche;
     cmd_of "generality" "Second case study: fabric locking on a 24-bit baseband AFE" generality;
     Cmd.v

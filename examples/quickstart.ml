@@ -19,7 +19,7 @@ let () =
   (* 3. The design house runs the secret 14-step calibration in its
      secure environment.  The returned configuration setting IS the
      secret key. *)
-  let report = Calibration.Calibrate.run receiver in
+  let report = (Calibration.Calibrate.run receiver).Calibration.Calibrate.report in
   let key = Core.Key.make ~standard ~chip report.Calibration.Calibrate.key in
   Printf.printf "after calibration       : SNR = %6.1f dB, SFDR = %.1f dB -> unlocked\n"
     report.Calibration.Calibrate.snr_mod_db report.Calibration.Calibrate.sfdr_db;

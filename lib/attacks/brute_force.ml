@@ -15,31 +15,36 @@ let run ?(seed = 0xBF) ~budget refab =
   let best_distance = ref infinity in
   let success = ref false in
   let trial = ref 0 in
-  while (not !success) && !trial < budget do
+  let watchdog = ref false in
+  while (not !success) && (not !watchdog) && !trial < budget do
     incr trial;
     let candidate = Rfchain.Config.random rng in
-    let snr = Oracle.try_key_fast refab candidate in
-    if snr > !best_snr then begin
-      best_snr := snr;
-      best_config := candidate
-    end;
-    (* Full (expensive) measurement only for keys that look alive. *)
-    let looks_alive = snr >= 30.0 in
-    if looks_alive then begin
-      let m = Oracle.try_key refab candidate in
-      let d = Oracle.spec_distance refab m in
-      if d < !best_distance then best_distance := d;
-      if d = 0.0 then begin
-        success := true;
+    match Oracle.try_key_fast refab candidate with
+    | Error (Oracle.Budget_exhausted _) -> watchdog := true
+    | Ok snr ->
+      if snr > !best_snr then begin
+        best_snr := snr;
         best_config := candidate
+      end;
+      (* Full (expensive) measurement only for keys that look alive. *)
+      let looks_alive = snr >= 30.0 in
+      if looks_alive then begin
+        match Oracle.try_key refab candidate with
+        | Error (Oracle.Budget_exhausted _) -> watchdog := true
+        | Ok m ->
+          let d = Oracle.spec_distance refab m in
+          if d < !best_distance then best_distance := d;
+          if d = 0.0 then begin
+            success := true;
+            best_config := candidate
+          end
       end
-    end
-    else begin
-      let d = Oracle.spec_distance refab
-          { Metrics.Spec.snr_mod_db = snr; snr_rx_db = snr; sfdr_db = None }
-      in
-      if d < !best_distance then best_distance := d
-    end
+      else begin
+        let d = Oracle.spec_distance refab
+            { Metrics.Spec.snr_mod_db = snr; snr_rx_db = snr; sfdr_db = None }
+        in
+        if d < !best_distance then best_distance := d
+      end
   done;
   {
     trials = !trial;

@@ -3,6 +3,18 @@ type trace_point = {
   best_snr_mod_db : float;
 }
 
+type termination =
+  | Success
+  | Budget_exhausted
+  | Oracle_exhausted
+  | Search_complete
+
+let termination_to_string = function
+  | Success -> "success"
+  | Budget_exhausted -> "budget exhausted"
+  | Oracle_exhausted -> "oracle watchdog tripped"
+  | Search_complete -> "search completed"
+
 type result = {
   attack : string;
   evaluations : int;
@@ -10,6 +22,7 @@ type result = {
   best_config : Rfchain.Config.t;
   best_snr_mod_db : float;
   trace : trace_point list;
+  termination : termination;
 }
 
 (* Shared bookkeeping: evaluate through the fast probe, keep the best,
@@ -22,6 +35,7 @@ type session = {
   mutable evals : int;
   mutable trace : trace_point list;
   mutable success : bool;
+  mutable oracle_dead : bool;
   budget : int;
 }
 
@@ -35,31 +49,50 @@ let session refab ~budget =
     evals = 0;
     trace = [];
     success = false;
+    oracle_dead = false;
     budget;
   }
 
 let evaluate s config =
-  if s.evals >= s.budget || s.success then None
+  if s.evals >= s.budget || s.success || s.oracle_dead then None
   else begin
-    s.evals <- s.evals + 1;
-    let snr = Oracle.try_key_fast s.refab config in
-    if snr > s.best_snr then begin
-      s.best_snr <- snr;
-      s.best <- config;
-      s.trace <- { evaluation = s.evals; best_snr_mod_db = snr } :: s.trace
-    end;
-    (* A candidate clearing the SNR bar gets the full check. *)
-    if snr >= s.min_snr then begin
-      let m = Oracle.try_key s.refab config in
-      if Oracle.spec_distance s.refab m = 0.0 then begin
-        s.success <- true;
-        s.best <- config
-      end
-    end;
-    Some snr
+    match Oracle.try_key_fast s.refab config with
+    | Error (Oracle.Budget_exhausted _) ->
+      (* The bench watchdog is the hard stop, independent of our own
+         accounting — a search loop cannot argue with it. *)
+      s.oracle_dead <- true;
+      None
+    | Ok snr ->
+      s.evals <- s.evals + 1;
+      (* A faulted or silent die can return NaN power ratios; treat
+         them as worst-case rather than letting NaN poison the search
+         state. *)
+      let snr = if Float.is_nan snr then neg_infinity else snr in
+      if snr > s.best_snr then begin
+        s.best_snr <- snr;
+        s.best <- config;
+        s.trace <- { evaluation = s.evals; best_snr_mod_db = snr } :: s.trace
+      end;
+      (* A candidate clearing the SNR bar gets the full check. *)
+      if snr >= s.min_snr then begin
+        match Oracle.try_key s.refab config with
+        | Error (Oracle.Budget_exhausted _) -> s.oracle_dead <- true
+        | Ok m ->
+          if Oracle.spec_distance s.refab m = 0.0 then begin
+            s.success <- true;
+            s.best <- config
+          end
+      end;
+      Some snr
   end
 
 let finish s ~attack =
+  let termination =
+    if s.success then Success
+    else if s.oracle_dead then Oracle_exhausted
+    else if s.evals >= s.budget then Budget_exhausted
+    else Search_complete
+  in
   {
     attack;
     evaluations = s.evals;
@@ -67,6 +100,7 @@ let finish s ~attack =
     best_config = s.best;
     best_snr_mod_db = s.best_snr;
     trace = List.rev s.trace;
+    termination;
   }
 
 let flip_bits rng config n =
@@ -163,7 +197,7 @@ let hill_climb_from ?seed:_ ~start ~budget refab =
   in
   let outcome =
     Calibration.Coordinate_search.maximize ~objective ~fields:Rfchain.Config.field_names
-      ~start ~passes:3 ()
+      ~start ~passes:3 ~budget ()
   in
   (* The coordinate search tracks its own best; fold it into the session
      in case the final candidate was seen before the budget ran out. *)

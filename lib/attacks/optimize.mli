@@ -14,6 +14,14 @@ type trace_point = {
   best_snr_mod_db : float;
 }
 
+type termination =
+  | Success            (** full spec reached on the attacker's die *)
+  | Budget_exhausted   (** the attack's own evaluation budget ran out *)
+  | Oracle_exhausted   (** the refab bench's {!Oracle.refabricate} watchdog tripped *)
+  | Search_complete    (** the search ran out of moves before the budget *)
+
+val termination_to_string : termination -> string
+
 type result = {
   attack : string;
   evaluations : int;
@@ -21,6 +29,7 @@ type result = {
   best_config : Rfchain.Config.t;
   best_snr_mod_db : float;
   trace : trace_point list;        (** improvement trajectory, oldest first *)
+  termination : termination;       (** why the attack stopped *)
 }
 
 val simulated_annealing :

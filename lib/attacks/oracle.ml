@@ -14,31 +14,49 @@ let reference_performance t =
 
 let standard t = t.standard
 
+type error = Budget_exhausted of { spent : int; limit : int }
+
+let error_to_string = function
+  | Budget_exhausted { spent; limit } ->
+    Printf.sprintf "trial budget exhausted: %d measurements spent of %d allowed" spent limit
+
 type refab = {
   refab_standard : Rfchain.Standards.t;
   bench : Metrics.Measure.t;
+  trial_limit : int option;
 }
 
-let refabricate t ~attacker_seed =
+let refabricate ?trial_limit t ~attacker_seed =
   let chip = Circuit.Process.fabricate ~seed:attacker_seed () in
   {
     refab_standard = t.standard;
     bench = Metrics.Measure.create (Rfchain.Receiver.create chip t.standard);
+    trial_limit;
   }
+
+let trials_spent r = Metrics.Measure.trial_count r.bench
+
+(* The watchdog: every probe first checks the bench's odometer against
+   the hard limit, so a runaway search loop cannot spend unbounded
+   measurement time no matter what its own budget accounting does. *)
+let guard r measure =
+  match r.trial_limit with
+  | Some limit when trials_spent r >= limit ->
+    Error (Budget_exhausted { spent = trials_spent r; limit })
+  | _ -> Ok (measure ())
 
 (* The full check measures every specified performance (the attacker
    must satisfy all of them simultaneously — the paper's multi-objective
    difficulty), and uses the linearity-verified SNR so an
    injection-locked tank regenerating the test tone cannot fool it. *)
 let try_key r config =
-  {
-    Metrics.Spec.snr_mod_db = Metrics.Measure.snr_mod_verified_db r.bench config;
-    snr_rx_db = Metrics.Measure.snr_rx_db r.bench config;
-    sfdr_db = Some (Metrics.Measure.sfdr_db r.bench config);
-  }
+  guard r (fun () ->
+      {
+        Metrics.Spec.snr_mod_db = Metrics.Measure.snr_mod_verified_db r.bench config;
+        snr_rx_db = Metrics.Measure.snr_rx_db r.bench config;
+        sfdr_db = Some (Metrics.Measure.sfdr_db r.bench config);
+      })
 
-let try_key_fast r config = Metrics.Measure.snr_mod_db r.bench config
-
-let trials_spent r = Metrics.Measure.trial_count r.bench
+let try_key_fast r config = guard r (fun () -> Metrics.Measure.snr_mod_db r.bench config)
 
 let spec_distance r m = Metrics.Spec.spec_distance r.refab_standard m

@@ -19,16 +19,26 @@ val reference_performance : t -> Metrics.Spec.measurement
 
 val standard : t -> Rfchain.Standards.t
 
+type error = Budget_exhausted of { spent : int; limit : int }
+(** The refab bench's trial-budget watchdog tripped: no further
+    measurements are allowed. *)
+
+val error_to_string : error -> string
+
 type refab
 (** The attacker's re-fabricated part with exposed programming bits. *)
 
-val refabricate : t -> attacker_seed:int -> refab
-(** Manufacture a clone die.  Same netlist, new process variations. *)
+val refabricate : ?trial_limit:int -> t -> attacker_seed:int -> refab
+(** Manufacture a clone die.  Same netlist, new process variations.
+    [trial_limit] arms a hard watchdog on the bench: once that many
+    measurements have been spent, every further probe returns
+    [Error (Budget_exhausted _)] — a backstop against search loops
+    whose own budget accounting is wrong or subverted. *)
 
-val try_key : refab -> Rfchain.Config.t -> Metrics.Spec.measurement
+val try_key : refab -> Rfchain.Config.t -> (Metrics.Spec.measurement, error) result
 (** Program a candidate key and measure.  Counted as one trial. *)
 
-val try_key_fast : refab -> Rfchain.Config.t -> float
+val try_key_fast : refab -> Rfchain.Config.t -> (float, error) result
 (** Cheaper probe used inside search loops: modulator-output SNR only
     (still one trial — it is one bench measurement). *)
 

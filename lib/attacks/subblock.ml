@@ -14,10 +14,15 @@ let cap_only_attack ?(seed = 0xCA) ~budget refab =
   let best_snr = ref neg_infinity in
   let trials = ref 0 in
   let objective config =
-    incr trials;
-    let snr = Oracle.try_key_fast refab config in
-    if snr > !best_snr then best_snr := snr;
-    snr
+    match Oracle.try_key_fast refab config with
+    | Error (Oracle.Budget_exhausted _) ->
+      (* Watchdog tripped: poison every further probe so the search
+         coasts to a stop on its pass counter. *)
+      neg_infinity
+    | Ok snr ->
+      incr trials;
+      if snr > !best_snr then best_snr := snr;
+      snr
   in
   let _ =
     Calibration.Coordinate_search.maximize ~objective
@@ -40,24 +45,31 @@ let tapped_attack ?(seed = 0x7A) ~budget standard ~attacker_seed =
      and Q-enhancement sub-keys exactly as calibration does. *)
   let chip = Circuit.Process.fabricate ~seed:attacker_seed () in
   let rx = Rfchain.Receiver.create chip standard in
-  let osc = Calibration.Osc_tune.run rx in
   let rng = Sigkit.Rng.create seed in
-  let start =
-    {
-      (Rfchain.Config.random rng) with
-      cap_coarse = osc.Calibration.Osc_tune.cap_coarse;
-      cap_fine = osc.Calibration.Osc_tune.cap_fine;
-      gm_q = osc.Calibration.Osc_tune.gm_q;
-      (* Mode bits are readable from the netlist's control logic. *)
-      fb_enable = true;
-      comp_clock_enable = true;
-      gmin_enable = true;
-      cal_buffer_enable = false;
-    }
+  (* If the attacker's own die happens not to oscillate, the trick
+     yields nothing: fall back to a blind random start. *)
+  let recovered, osc_measurements, start =
+    match Calibration.Osc_tune.run rx with
+    | Ok osc ->
+      ( [ "cap_coarse"; "cap_fine"; "gm_q" ],
+        osc.Calibration.Osc_tune.measurements,
+        {
+          (Rfchain.Config.random rng) with
+          cap_coarse = osc.Calibration.Osc_tune.cap_coarse;
+          cap_fine = osc.Calibration.Osc_tune.cap_fine;
+          gm_q = osc.Calibration.Osc_tune.gm_q;
+          (* Mode bits are readable from the netlist's control logic. *)
+          fb_enable = true;
+          comp_clock_enable = true;
+          gmin_enable = true;
+          cal_buffer_enable = false;
+        } )
+    | Error (Calibration.Osc_tune.Tank_silent { measurements; _ }) ->
+      ([], measurements, Rfchain.Config.random rng)
   in
   let bench = Metrics.Measure.create rx in
   let best_snr = ref neg_infinity in
-  let trials = ref osc.Calibration.Osc_tune.measurements in
+  let trials = ref osc_measurements in
   let objective config =
     incr trials;
     let snr = Metrics.Measure.snr_mod_db bench config in
@@ -73,7 +85,7 @@ let tapped_attack ?(seed = 0x7A) ~budget standard ~attacker_seed =
   in
   {
     attack = "tapped re-fab (oscillation access granted)";
-    recovered_fields = [ "cap_coarse"; "cap_fine"; "gm_q" ];
+    recovered_fields = recovered;
     trials = !trials;
     best_snr_mod_db = !best_snr;
     success = !best_snr >= 35.0;

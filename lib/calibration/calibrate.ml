@@ -9,6 +9,26 @@ type report = {
   log : string list;
 }
 
+type failure =
+  | Tank_dead of { log : string list; measurements : int }
+  | Spec_shortfall of { report : report; shortfall_db : float }
+
+type verdict = Converged | Degraded of failure
+
+type outcome = {
+  report : report;
+  verdict : verdict;
+  attempts : int;
+}
+
+let failure_to_string = function
+  | Tank_dead { measurements; _ } ->
+    Printf.sprintf "tank dead: no oscillation at maximum Q-enhancement (%d measurements)"
+      measurements
+  | Spec_shortfall { shortfall_db; report } ->
+    Printf.sprintf "spec shortfall: %.1f dB below specification (best SNR(mod) %.1f dB)"
+      shortfall_db report.snr_mod_db
+
 let step14_fields =
   [
     "gmin_bias";
@@ -27,61 +47,131 @@ let step14_fields =
    absorbed by step 14). *)
 let delay_code_for_fs fs = max 0 (min 15 (int_of_float (Float.round (4.0 +. (4.0 *. fs /. 12e9)))))
 
-let run ?(passes = 2) ?(refine_sfdr = true) rx =
+let default_offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]
+
+(* Escalated probe ladder for retries: a die pushed off-corner by drift
+   or faults may sit further from the nominal biases than the production
+   ladder reaches. *)
+let wide_offsets = [ 1; -1; 2; -2; 4; -4; 8; -8; 16; -16; 32; -32 ]
+
+let attempt_with ~passes ~refine_sfdr ~offsets rx =
   let log = ref [] in
   let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
   let fs = Rfchain.Receiver.fs rx in
   (* Steps 1-7: oscillation-mode centre-frequency tuning. *)
-  let osc = Osc_tune.run rx in
-  say "steps 1-7: Cc=%d Cf=%d, freq error %.0f kHz, -Gm backed off to %d (%d osc. measurements)"
-    osc.cap_coarse osc.cap_fine (osc.freq_error_hz /. 1e3) osc.gm_q osc.measurements;
-  (* Steps 8-13: restore loop, set delay and gain, nominal biases. *)
-  let start =
-    {
-      Rfchain.Config.nominal with
-      cap_coarse = osc.cap_coarse;
-      cap_fine = osc.cap_fine;
-      gm_q = osc.gm_q;
-      loop_delay = delay_code_for_fs fs;
-      vglna_gain = Rfchain.Vglna.segment_code ~p_dbm:(-25.0);
-    }
-  in
-  say "steps 8-13: loop restored, delay code %d, VGLNA code %d, biases nominal"
-    start.loop_delay start.vglna_gain;
-  (* Step 14: iterative refinement driven by measured SNR (and SFDR). *)
-  let bench = Metrics.Measure.create rx in
-  let objective config =
-    let snr = Metrics.Measure.snr_mod_db bench config in
-    if not refine_sfdr then snr
-    else begin
-      let sfdr = Metrics.Measure.sfdr_db bench config in
-      let standard = Rfchain.Receiver.standard rx in
-      (* SFDR contributes only its shortfall from spec plus a 2 dB
-         production margin; once comfortably in spec, SNR rules. *)
-      let target = standard.Rfchain.Standards.min_sfdr_db +. 2.0 in
-      snr -. (4.0 *. Float.max 0.0 (target -. sfdr))
-    end
-  in
-  let outcome =
-    Coordinate_search.maximize ~objective ~fields:step14_fields ~start ~passes ()
-  in
-  let key = outcome.Coordinate_search.best in
-  let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
-  let snr_rx_db = Metrics.Measure.snr_rx_db bench key in
-  let sfdr_db = Metrics.Measure.sfdr_db bench key in
-  say "step 14: %d trials; SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB"
-    outcome.Coordinate_search.evaluations snr_mod_db snr_rx_db sfdr_db;
+  match Osc_tune.run rx with
+  | Error err ->
+    say "steps 1-7: FAILED — %s" (Osc_tune.error_to_string err);
+    let (Osc_tune.Tank_silent { measurements; _ }) = err in
+    Error (Tank_dead { log = List.rev !log; measurements })
+  | Ok osc ->
+    say "steps 1-7: Cc=%d Cf=%d, freq error %.0f kHz, -Gm backed off to %d (%d osc. measurements)"
+      osc.Osc_tune.cap_coarse osc.cap_fine (osc.freq_error_hz /. 1e3) osc.gm_q osc.measurements;
+    (* Steps 8-13: restore loop, set delay and gain, nominal biases. *)
+    let start =
+      {
+        Rfchain.Config.nominal with
+        cap_coarse = osc.cap_coarse;
+        cap_fine = osc.cap_fine;
+        gm_q = osc.gm_q;
+        loop_delay = delay_code_for_fs fs;
+        vglna_gain = Rfchain.Vglna.segment_code ~p_dbm:(-25.0);
+      }
+    in
+    say "steps 8-13: loop restored, delay code %d, VGLNA code %d, biases nominal"
+      start.loop_delay start.vglna_gain;
+    (* Step 14: iterative refinement driven by measured SNR (and SFDR). *)
+    let bench = Metrics.Measure.create rx in
+    let standard = Rfchain.Receiver.standard rx in
+    let objective config =
+      let snr = Metrics.Measure.snr_mod_db bench config in
+      if not refine_sfdr then snr
+      else begin
+        let sfdr = Metrics.Measure.sfdr_db bench config in
+        (* SFDR contributes only its shortfall from spec plus a 2 dB
+           production margin; once comfortably in spec, SNR rules. *)
+        let target = standard.Rfchain.Standards.min_sfdr_db +. 2.0 in
+        snr -. (4.0 *. Float.max 0.0 (target -. sfdr))
+      end
+    in
+    let outcome =
+      Coordinate_search.maximize ~objective ~fields:step14_fields ~start ~offsets ~passes ()
+    in
+    let key = outcome.Coordinate_search.best in
+    let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
+    let snr_rx_db = Metrics.Measure.snr_rx_db bench key in
+    let sfdr_db = Metrics.Measure.sfdr_db bench key in
+    say "step 14: %d trials; SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB"
+      outcome.Coordinate_search.evaluations snr_mod_db snr_rx_db sfdr_db;
+    let report =
+      {
+        key;
+        snr_mod_db;
+        snr_rx_db;
+        sfdr_db;
+        freq_error_hz = osc.freq_error_hz;
+        oscillation_measurements = osc.measurements;
+        snr_measurements = Metrics.Measure.trial_count bench;
+        log = List.rev !log;
+      }
+    in
+    (* Acceptance gate: the calibrated die must actually meet its
+       standard.  SFDR only binds when the procedure refined it. *)
+    let m =
+      {
+        Metrics.Spec.snr_mod_db;
+        snr_rx_db;
+        sfdr_db = (if refine_sfdr then Some sfdr_db else None);
+      }
+    in
+    let shortfall_db = Metrics.Spec.spec_distance standard m in
+    if shortfall_db > 0.0 then Error (Spec_shortfall { report; shortfall_db }) else Ok report
+
+let attempt ?(passes = 2) ?(refine_sfdr = true) rx =
+  attempt_with ~passes ~refine_sfdr ~offsets:default_offsets rx
+
+(* A die whose tank never oscillates yields no key at all; synthesise a
+   report that says so in-band instead of raising. *)
+let dead_report ~log ~measurements =
   {
-    key;
-    snr_mod_db;
-    snr_rx_db;
-    sfdr_db;
-    freq_error_hz = osc.freq_error_hz;
-    oscillation_measurements = osc.measurements;
-    snr_measurements = Metrics.Measure.trial_count bench;
-    log = List.rev !log;
+    key = Rfchain.Config.nominal;
+    snr_mod_db = Float.neg_infinity;
+    snr_rx_db = Float.neg_infinity;
+    sfdr_db = Float.neg_infinity;
+    freq_error_hz = Float.infinity;
+    oscillation_measurements = measurements;
+    snr_measurements = 0;
+    log;
   }
 
+let run ?(passes = 2) ?(refine_sfdr = true) ?(max_retries = 2) rx =
+  let rec go k best_shortfall =
+    (* Retry k escalates both the cycle count and the probe ladder: a
+       marginal die gets a longer, wider search before we give up. *)
+    let offsets = if k = 0 then default_offsets else wide_offsets in
+    match attempt_with ~passes:(passes + k) ~refine_sfdr ~offsets rx with
+    | Ok report -> { report; verdict = Converged; attempts = k + 1 }
+    | Error (Tank_dead { log; measurements }) ->
+      (* No amount of re-running steps 1-7 revives a silent tank. *)
+      let report = dead_report ~log ~measurements in
+      { report; verdict = Degraded (Tank_dead { log; measurements }); attempts = k + 1 }
+    | Error (Spec_shortfall { report; shortfall_db } as f) ->
+      let best_shortfall =
+        match best_shortfall with
+        | Some (_, best_db) when best_db <= shortfall_db -> best_shortfall
+        | _ -> Some (f, shortfall_db)
+      in
+      if k < max_retries then go (k + 1) best_shortfall
+      else begin
+        let failure, _ = Option.get best_shortfall in
+        let report =
+          match failure with Spec_shortfall { report; _ } -> report | Tank_dead _ -> report
+        in
+        { report; verdict = Degraded failure; attempts = k + 1 }
+      end
+  in
+  go 0 None
+
 let quick rx =
-  let report = run ~passes:1 ~refine_sfdr:false rx in
-  report.key
+  let outcome = run ~passes:1 ~refine_sfdr:false ~max_retries:0 rx in
+  outcome.report.key

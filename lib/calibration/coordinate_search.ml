@@ -2,10 +2,23 @@ type outcome = {
   best : Rfchain.Config.t;
   best_score : float;
   evaluations : int;
+  exhausted_budget : bool;
 }
 
-let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]) ?(passes = 2) () =
+let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]) ?(passes = 2)
+    ?budget () =
   let evaluations = ref 0 in
+  let exhausted = ref false in
+  let within_budget () =
+    match budget with
+    | None -> true
+    | Some b ->
+      if !evaluations < b then true
+      else begin
+        exhausted := true;
+        false
+      end
+  in
   let eval config =
     incr evaluations;
     objective config
@@ -15,7 +28,7 @@ let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 
     let width = Rfchain.Config.field_width name in
     let current = Rfchain.Config.field !best name in
     let try_code code =
-      if code >= 0 && code < 1 lsl width && code <> current then begin
+      if code >= 0 && code < 1 lsl width && code <> current && within_budget () then begin
         let candidate = Rfchain.Config.with_field !best name code in
         let score = eval candidate in
         if score > !best_score then begin
@@ -27,6 +40,6 @@ let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 
     List.iter (fun off -> try_code (current + off)) offsets
   in
   for _ = 1 to passes do
-    List.iter probe_field fields
+    if not !exhausted then List.iter probe_field fields
   done;
-  { best = !best; best_score = !best_score; evaluations = !evaluations }
+  { best = !best; best_score = !best_score; evaluations = !evaluations; exhausted_budget = !exhausted }

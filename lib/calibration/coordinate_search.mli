@@ -11,6 +11,7 @@ type outcome = {
   best : Rfchain.Config.t;
   best_score : float;
   evaluations : int;
+  exhausted_budget : bool;   (** the [budget] cap cut the search short *)
 }
 
 val maximize :
@@ -19,8 +20,13 @@ val maximize :
   start:Rfchain.Config.t ->
   ?offsets:int list ->
   ?passes:int ->
+  ?budget:int ->
   unit ->
   outcome
 (** [maximize ~objective ~fields ~start ()] hill-climbs [objective].
     [offsets] is the probe ladder (default +-1, +-2, +-4, +-8);
-    [passes] the number of full cycles (default 2). *)
+    [passes] the number of full cycles (default 2).  [budget] caps the
+    total objective evaluations — the watchdog for searches driven by a
+    degraded or fault-injected die, where the objective may never
+    improve; when it trips, the best point so far is still returned
+    with [exhausted_budget] set. *)

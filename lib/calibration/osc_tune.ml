@@ -6,6 +6,20 @@ type result = {
   measurements : int;
 }
 
+type error =
+  | Tank_silent of {
+      cap_coarse : int;
+      cap_fine : int;
+      measurements : int;
+    }
+
+let error_to_string = function
+  | Tank_silent { cap_coarse; cap_fine; measurements } ->
+    Printf.sprintf
+      "tank does not oscillate at maximum Q-enhancement (Cc=%d Cf=%d, %d measurements): dead or \
+       out-of-corner die"
+      cap_coarse cap_fine measurements
+
 let oscillation_config (config : Rfchain.Config.t) =
   {
     config with
@@ -20,6 +34,8 @@ let measure_frequency rx config =
   let sdm = Rfchain.Receiver.sdm_of_config rx config in
   Rfchain.Sdm.oscillation_frequency sdm ~n:8192
 
+let ( let* ) = Result.bind
+
 let run rx =
   let f0 = (Rfchain.Receiver.standard rx).Rfchain.Standards.f0_hz in
   let base = oscillation_config Rfchain.Config.nominal in
@@ -28,35 +44,42 @@ let run rx =
     incr count;
     let config = { base with cap_coarse = coarse; cap_fine = fine } in
     match measure_frequency rx config with
-    | Some f -> f
+    | Some f -> Ok f
     | None ->
       (* At maximum -Gm the tank must oscillate; a silent tank means a
-         defective die, which calibration cannot recover. *)
-      failwith "Osc_tune: tank does not oscillate at maximum Q-enhancement"
+         defective (or fault-injected) die, which calibration cannot
+         recover — report it as data, not as an exception. *)
+      Error (Tank_silent { cap_coarse = coarse; cap_fine = fine; measurements = !count })
   in
   (* Oscillation frequency decreases monotonically with capacitance,
      hence with code: binary-search the crossing (step 6). *)
   let search ~measure ~max_code =
     let rec go lo hi =
-      if lo >= hi then lo
+      if lo >= hi then Ok lo
       else
         let mid = (lo + hi) / 2 in
-        if measure mid > f0 then go (mid + 1) hi else go lo mid
+        let* f = measure mid in
+        if f > f0 then go (mid + 1) hi else go lo mid
     in
-    let candidate = go 0 max_code in
+    let* candidate = go 0 max_code in
     (* The crossing leaves two neighbours; keep the closer one. *)
-    let best = ref candidate and best_err = ref (Float.abs (measure candidate -. f0)) in
-    if candidate > 0 then begin
-      let err = Float.abs (measure (candidate - 1) -. f0) in
-      if err < !best_err then begin
-        best := candidate - 1;
-        best_err := err
-      end
-    end;
-    (!best, !best_err)
+    let* f_candidate = measure candidate in
+    let best = ref candidate and best_err = ref (Float.abs (f_candidate -. f0)) in
+    let* () =
+      if candidate > 0 then
+        let* f_below = measure (candidate - 1) in
+        let err = Float.abs (f_below -. f0) in
+        if err < !best_err then begin
+          best := candidate - 1;
+          best_err := err
+        end;
+        Ok ()
+      else Ok ()
+    in
+    Ok (!best, !best_err)
   in
-  let coarse, _ = search ~measure:(fun c -> freq ~coarse:c ~fine:128) ~max_code:255 in
-  let fine, freq_error_hz = search ~measure:(fun c -> freq ~coarse ~fine:c) ~max_code:255 in
+  let* coarse, _ = search ~measure:(fun c -> freq ~coarse:c ~fine:128) ~max_code:255 in
+  let* fine, freq_error_hz = search ~measure:(fun c -> freq ~coarse ~fine:c) ~max_code:255 in
   (* Step 7: back the Q-enhancement off until oscillation vanishes. *)
   let tuned = { base with cap_coarse = coarse; cap_fine = fine } in
   let rec back_off code =
@@ -69,4 +92,4 @@ let run rx =
     end
   in
   let gm_q = back_off 63 in
-  { cap_coarse = coarse; cap_fine = fine; gm_q; freq_error_hz; measurements = !count }
+  Ok { cap_coarse = coarse; cap_fine = fine; gm_q; freq_error_hz; measurements = !count }

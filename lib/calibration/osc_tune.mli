@@ -23,8 +23,21 @@ val oscillation_config : Rfchain.Config.t -> Rfchain.Config.t
     buffer in path, input transconductor off, feedback open,
     Q-enhancement at maximum. *)
 
+type error =
+  | Tank_silent of {
+      cap_coarse : int;          (** codes loaded when the tank fell silent *)
+      cap_fine : int;
+      measurements : int;        (** measurements spent before giving up *)
+    }
+      (** The tank failed to oscillate even at maximum Q-enhancement: a
+          dead, badly faulted or far-out-of-corner die.  Calibration
+          cannot proceed past step 6. *)
+
+val error_to_string : error -> string
+
 val measure_frequency : Rfchain.Receiver.t -> Rfchain.Config.t -> float option
 (** One oscillation-mode frequency measurement (step 6's primitive). *)
 
-val run : Rfchain.Receiver.t -> result
-(** Full steps 1-7 for the receiver's target standard. *)
+val run : Rfchain.Receiver.t -> (result, error) Stdlib.result
+(** Full steps 1-7 for the receiver's target standard.  Never raises:
+    a silent tank is reported as [Error (Tank_silent _)]. *)

@@ -28,6 +28,18 @@ val age : chip -> hours:float -> chip
 val age_hours : chip -> float
 (** Accumulated use (0 for fresh silicon). *)
 
+val environment : chip -> drift:float -> chip
+(** The same die in a drifted supply/temperature environment: every
+    parameter shifts by [drift * z] with [z] a per-(die, parameter)
+    standard normal — a correlated corner excursion, not fresh
+    mismatch.  [drift = 0.01] is roughly a 1-sigma PVT excursion.
+    Composable: successive calls accumulate. *)
+
+val with_offset_bias : chip -> name:string -> bias:float -> chip
+(** Inject a targeted additive shift into one named offset parameter
+    (e.g. a comparator threshold drifting by [bias] volts).  Used by
+    the fault-injection layer; the unbiased die is unchanged. *)
+
 val parameter : chip -> name:string -> nominal:float -> sigma_pct:float -> float
 (** Gaussian-varied parameter: [nominal * (1 + sigma_pct/100 * z)] with
     [z] a per-(chip, name) standard normal draw.  Deterministic. *)

@@ -27,9 +27,9 @@ let evaluate ?(n_invalid = 100) ?(seed = 2020) ?(with_rx = true) rx ~correct () 
 
 let best_invalid t =
   match t.invalid with
-  | [] -> invalid_arg "Lock_eval.best_invalid: empty ensemble"
+  | [] -> None
   | first :: rest ->
-    List.fold_left (fun acc r -> if r.snr_mod_db > acc.snr_mod_db then r else acc) first rest
+    Some (List.fold_left (fun acc r -> if r.snr_mod_db > acc.snr_mod_db then r else acc) first rest)
 
 let is_open_loop_passthrough (config : Rfchain.Config.t) =
   (not config.fb_enable) && not config.comp_clock_enable

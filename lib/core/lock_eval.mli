@@ -33,9 +33,10 @@ val evaluate :
     measures the receiver-output SNR (Fig. 9); switching it off halves
     the cost for modulator-only studies. *)
 
-val best_invalid : t -> key_result
+val best_invalid : t -> key_result option
 (** The invalid key with the highest modulator-output SNR — the
-    "deceptive" key the paper labels index 7. *)
+    "deceptive" key the paper labels index 7.  [None] on an empty
+    ensemble. *)
 
 val is_open_loop_passthrough : Rfchain.Config.t -> bool
 (** The deceptive signature: feedback open and comparator buffered. *)

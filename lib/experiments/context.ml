@@ -12,9 +12,10 @@ let ensemble_seed = 2020
 let create ?(seed = 42) ?(standard = Rfchain.Standards.max_frequency) ?(fast = false) () =
   let chip = Circuit.Process.fabricate ~seed () in
   let rx = Rfchain.Receiver.create chip standard in
-  let calibration =
+  let outcome =
     if fast then Calibration.Calibrate.run ~passes:1 rx else Calibration.Calibrate.run rx
   in
+  let calibration = outcome.Calibration.Calibrate.report in
   { seed; standard; chip; rx; calibration; golden = calibration.Calibration.Calibrate.key }
 
 let invalid_ensemble ?(n = 100) t =

@@ -21,7 +21,7 @@ type t = {
 let calibrate_die standard seed =
   let chip = Circuit.Process.fabricate ~seed () in
   let rx = Rfchain.Receiver.create chip standard in
-  let report = Calibration.Calibrate.run ~passes:1 rx in
+  let report = (Calibration.Calibrate.run ~passes:1 ~max_retries:0 rx).Calibration.Calibrate.report in
   let m =
     {
       Metrics.Spec.snr_mod_db = report.Calibration.Calibrate.snr_mod_db;

@@ -1,0 +1,230 @@
+type cell = {
+  die_seed : int;
+  mechanism : string;
+  severity : Fault.severity;
+  faults : Fault.t list;
+  snr_mod_db : float;
+  lock_margin_db : float;
+  in_spec : bool;
+}
+
+type stat = {
+  s_mechanism : string;
+  s_severity : Fault.severity;
+  n : int;
+  mean_margin_db : float;
+  min_margin_db : float;
+  max_margin_db : float;
+  survival_rate : float;
+}
+
+type flip_probe = {
+  bit : int;
+  flip_snr_mod_db : float;
+  survives_full : bool;
+}
+
+type demo = {
+  label : string;
+  demo_fault : Fault.t;
+  outcome : Calibration.Calibrate.outcome;
+}
+
+type t = {
+  standard : Rfchain.Standards.t;
+  seed : int;
+  dies : int;
+  golden_snr_mod_db : float;
+  cells : cell list;
+  stats : stat list;
+  flips : flip_probe list;
+  unlocked_bits : int list;
+  demos : demo list;
+}
+
+(* The sweep grid: every mechanism of the taxonomy, seeded per die so
+   stochastic faults (upsets, bursts, stuck placement) vary across the
+   lot while staying reproducible. *)
+let mechanisms =
+  [
+    ("pvt-drift", fun ~die:_ severity -> [ Fault.pvt severity ]);
+    ("comparator-drift", fun ~die:_ severity -> [ Fault.comparator_drift severity ]);
+    ("aging", fun ~die:_ severity -> [ Fault.aging severity ]);
+    ("burst-noise", fun ~die severity -> [ Fault.burst_noise ~seed:die severity ]);
+    ("register-flip", fun ~die severity -> [ Fault.register_upsets ~seed:die severity ]);
+    ("stuck-bits", fun ~die severity -> [ Fault.random_stuck ~seed:die severity ]);
+  ]
+
+let mechanism_names = List.map fst mechanisms
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+let stats_of cells =
+  List.concat_map
+    (fun (mech, _) ->
+      List.map
+        (fun severity ->
+          let group =
+            List.filter (fun c -> c.mechanism = mech && c.severity = severity) cells
+          in
+          let margins = List.map (fun c -> c.lock_margin_db) group in
+          let survivors = List.filter (fun c -> c.in_spec) group in
+          {
+            s_mechanism = mech;
+            s_severity = severity;
+            n = List.length group;
+            mean_margin_db = mean margins;
+            min_margin_db = List.fold_left Float.min infinity margins;
+            max_margin_db = List.fold_left Float.max neg_infinity margins;
+            survival_rate =
+              float_of_int (List.length survivors) /. float_of_int (max 1 (List.length group));
+          })
+        Fault.all_severities)
+    mechanisms
+
+let run ?(dies = 3) ?(seed = 42) standard =
+  if dies < 1 then Error (Error.Empty_sweep { what = "dies" })
+  else begin
+    let min_snr = standard.Rfchain.Standards.min_snr_db in
+    (* Calibrate each die of the lot while healthy: the campaign asks
+       what happens to a *provisioned* part when a fault arrives. *)
+    let lot =
+      List.init dies (fun i ->
+          let die_seed = seed + (17 * i) in
+          let chip = Circuit.Process.fabricate ~seed:die_seed () in
+          let rx = Rfchain.Receiver.create chip standard in
+          (die_seed, chip, Calibration.Calibrate.quick rx))
+    in
+    let chip0, key0 =
+      match lot with
+      | (_, chip, key) :: _ -> (chip, key)
+      | [] -> (Circuit.Process.fabricate ~seed (), Rfchain.Config.nominal) (* dies >= 1 *)
+    in
+    let bench0 = Metrics.Measure.create (Rfchain.Receiver.create chip0 standard) in
+    let golden_snr_mod_db = Metrics.Measure.snr_mod_db bench0 key0 in
+    (* Fault x severity x die grid, golden key applied to the faulted
+       part. *)
+    let cells =
+      List.concat_map
+        (fun (die_seed, chip, key) ->
+          List.concat_map
+            (fun (mech, make) ->
+              List.map
+                (fun severity ->
+                  let faults = make ~die:die_seed severity in
+                  let rx = Inject.receiver chip standard faults in
+                  let bench = Metrics.Measure.create rx in
+                  let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
+                  let snr_mod_db =
+                    if Float.is_nan snr_mod_db then neg_infinity else snr_mod_db
+                  in
+                  let lock_margin_db = snr_mod_db -. min_snr in
+                  {
+                    die_seed;
+                    mechanism = mech;
+                    severity;
+                    faults;
+                    snr_mod_db;
+                    lock_margin_db;
+                    in_spec = lock_margin_db >= 0.0;
+                  })
+                Fault.all_severities)
+            mechanisms)
+        lot
+    in
+    (* Single-bit corruption cliff: flip each key bit on the healthy
+       primary die.  Fast SNR probe first; only apparent survivors pay
+       for the full spec check (which also catches fake unlocks via the
+       verified-SNR measurement). *)
+    let flips =
+      List.init Rfchain.Config.key_bits (fun bit ->
+          let corrupted =
+            Rfchain.Config.of_bits
+              (Int64.logxor (Rfchain.Config.to_bits key0) (Int64.shift_left 1L bit))
+          in
+          let snr = Metrics.Measure.snr_mod_db bench0 corrupted in
+          let snr = if Float.is_nan snr then neg_infinity else snr in
+          let survives_full =
+            snr >= min_snr
+            &&
+            let m = Metrics.Measure.full bench0 corrupted in
+            (Metrics.Spec.check standard m).Metrics.Spec.functional
+          in
+          { bit; flip_snr_mod_db = snr; survives_full })
+    in
+    let unlocked_bits =
+      List.filter_map (fun p -> if p.survives_full then Some p.bit else None) flips
+    in
+    (* Calibration-defeat demos: faults severe enough that the 14-step
+       procedure cannot converge, exercising both structured failure
+       paths (dead tank; completed-but-out-of-spec). *)
+    let demo label fault =
+      let rx = Inject.receiver chip0 standard [ fault ] in
+      {
+        label;
+        demo_fault = fault;
+        outcome = Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false ~max_retries:1 rx;
+      }
+    in
+    let demos =
+      [
+        demo "Q-enhancement driver dead" (Fault.stuck_field ~name:"gm_q" ~code:0);
+        demo "comparator clock stuck (buffer mode)"
+          (Fault.stuck_field ~name:"comp_clock_enable" ~code:0);
+      ]
+    in
+    Ok
+      {
+        standard;
+        seed;
+        dies;
+        golden_snr_mod_db;
+        cells;
+        stats = stats_of cells;
+        flips;
+        unlocked_bits;
+        demos;
+      }
+  end
+
+let run_by_name ?dies ?seed name =
+  match Rfchain.Standards.find_opt name with
+  | None ->
+    Error (Error.Unknown_standard { requested = name; known = Rfchain.Standards.names })
+  | Some standard -> run ?dies ?seed standard
+
+let is_degraded_as outcome ~tank_dead =
+  match outcome.Calibration.Calibrate.verdict with
+  | Calibration.Calibrate.Degraded (Calibration.Calibrate.Tank_dead _) -> tank_dead
+  | Calibration.Calibrate.Degraded (Calibration.Calibrate.Spec_shortfall _) -> not tank_dead
+  | Calibration.Calibrate.Converged -> false
+
+let checks t =
+  let mild_pvt =
+    List.filter (fun c -> c.mechanism = "pvt-drift" && c.severity = Fault.Mild) t.cells
+  in
+  let graded mech =
+    let mean_at severity =
+      match
+        List.find_opt (fun s -> s.s_mechanism = mech && s.s_severity = severity) t.stats
+      with
+      | Some s -> s.mean_margin_db
+      | None -> nan
+    in
+    mean_at Fault.Severe <= mean_at Fault.Mild +. 0.5
+  in
+  let killed = List.length (List.filter (fun p -> not p.survives_full) t.flips) in
+  [
+    ( "valid key survives mild PVT drift on every die",
+      mild_pvt <> [] && List.for_all (fun c -> c.in_spec) mild_pvt );
+    ( "some severe fault defeats the lock margin",
+      List.exists (fun c -> c.severity = Fault.Severe && not c.in_spec) t.cells );
+    ( "response is graded: severe margin <= mild margin per mechanism",
+      List.for_all graded mechanism_names );
+    ( "single-bit key corruption kills >= 55/64 bits",
+      killed >= 55 );
+    ( "dead tank reported as structured Tank_dead (no exception)",
+      List.exists (fun d -> is_degraded_as d.outcome ~tank_dead:true) t.demos );
+    ( "defeated calibration reported as Spec_shortfall (no exception)",
+      List.exists (fun d -> is_degraded_as d.outcome ~tank_dead:false) t.demos );
+  ]

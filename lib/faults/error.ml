@@ -1,0 +1,9 @@
+type t =
+  | Unknown_standard of { requested : string; known : string list }
+  | Empty_sweep of { what : string }
+
+let to_string = function
+  | Unknown_standard { requested; known } ->
+    Printf.sprintf "unknown standard %S; known standards: %s" requested
+      (String.concat ", " known)
+  | Empty_sweep { what } -> Printf.sprintf "empty sweep: %s must be at least 1" what

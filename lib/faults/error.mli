@@ -1,0 +1,11 @@
+(** Typed campaign-level errors.
+
+    Everything a stress campaign can refuse to do is enumerated here;
+    the library layer never raises and never exits — the CLI decides
+    what an error is worth. *)
+
+type t =
+  | Unknown_standard of { requested : string; known : string list }
+  | Empty_sweep of { what : string }
+
+val to_string : t -> string

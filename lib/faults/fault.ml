@@ -1,0 +1,109 @@
+type t =
+  | Stuck_bits of { mask : int64; value : int64 }
+  | Register_flip of { rate : float; seed : int }
+  | Comparator_drift of { offset_v : float }
+  | Pvt_drift of { scale : float }
+  | Burst_noise of { rate : float; amplitude : float; seed : int }
+  | Aging of { hours : float }
+
+type severity = Mild | Moderate | Severe
+
+let all_severities = [ Mild; Moderate; Severe ]
+
+let severity_name = function Mild -> "mild" | Moderate -> "moderate" | Severe -> "severe"
+
+(* One shared escalation ladder: each step is a rough 3x in physical
+   stress, so "severe" is an order of magnitude past "mild". *)
+let severity_scale = function Mild -> 1.0 | Moderate -> 3.0 | Severe -> 10.0
+
+let stuck_bit ~bit ~value =
+  if bit < 0 || bit >= Rfchain.Config.key_bits then
+    Stuck_bits { mask = 0L; value = 0L }
+  else
+    let mask = Int64.shift_left 1L bit in
+    Stuck_bits { mask; value = (if value then mask else 0L) }
+
+let stuck_field ~name ~code =
+  (* Stick a whole named field of the word at a fixed code: the model of
+     a programming-fabric defect taking out one knob's driver. *)
+  let width = Rfchain.Config.field_width name in
+  let stuck = Rfchain.Config.with_field Rfchain.Config.nominal name code in
+  let field_mask =
+    (* Which bit positions belong to the field: flip the field through
+       its full range and see which bits can change. *)
+    let all_ones = Rfchain.Config.with_field Rfchain.Config.nominal name ((1 lsl width) - 1) in
+    let all_zero = Rfchain.Config.with_field Rfchain.Config.nominal name 0 in
+    Int64.logxor (Rfchain.Config.to_bits all_ones) (Rfchain.Config.to_bits all_zero)
+  in
+  Stuck_bits { mask = field_mask; value = Int64.logand (Rfchain.Config.to_bits stuck) field_mask }
+
+let random_stuck ~seed severity =
+  let n = match severity with Mild -> 1 | Moderate -> 3 | Severe -> 10 in
+  let rng = Sigkit.Rng.create (0x57_0C + seed) in
+  let mask = ref 0L and value = ref 0L in
+  for _ = 1 to n do
+    let bit = Sigkit.Rng.int_range rng 0 (Rfchain.Config.key_bits - 1) in
+    let m = Int64.shift_left 1L bit in
+    mask := Int64.logor !mask m;
+    if Sigkit.Rng.bool rng then value := Int64.logor !value m
+    else value := Int64.logand !value (Int64.lognot m)
+  done;
+  Stuck_bits { mask = !mask; value = !value }
+
+let register_upsets ~seed severity =
+  Register_flip { rate = 0.02 *. severity_scale severity; seed }
+
+(* The slicer regenerates the bitstream every sample, so the comparator
+   tolerates offsets far beyond the input amplitude; only a drift
+   comparable to the tank swing (volts, not millivolts) starts eating
+   quantizer levels.  Severe is tuned just past that knee. *)
+let comparator_drift severity = Comparator_drift { offset_v = 1.2 *. severity_scale severity }
+
+let pvt severity = Pvt_drift { scale = 0.004 *. severity_scale severity }
+
+(* Both the hit rate and the hit energy grow with stress: a severe
+   environment produces more bursts and bigger ones. *)
+let burst_noise ~seed severity =
+  Burst_noise
+    {
+      rate = 0.002 *. severity_scale severity;
+      amplitude = 3e-3 *. severity_scale severity;
+      seed;
+    }
+
+(* The aging cliff is die-dependent: a die whose Q-enhancement landed
+   near the oscillation margin loses its tank after only a few hours,
+   while a healthy die holds out to ~50.  Mild must sit inside the
+   weakest die's headroom, so the ladder is explicit rather than the
+   shared 1/3/10 scale. *)
+let aging severity =
+  Aging { hours = (match severity with Mild -> 2.0 | Moderate -> 50.0 | Severe -> 500.0) }
+
+let name = function
+  | Stuck_bits _ -> "stuck-bits"
+  | Register_flip _ -> "register-flip"
+  | Comparator_drift _ -> "comparator-drift"
+  | Pvt_drift _ -> "pvt-drift"
+  | Burst_noise _ -> "burst-noise"
+  | Aging _ -> "aging"
+
+let popcount64 x =
+  let rec go acc x = if Int64.equal x 0L then acc
+    else go (acc + 1) (Int64.logand x (Int64.sub x 1L))
+  in
+  go 0 x
+
+let describe = function
+  | Stuck_bits { mask; value } ->
+    Printf.sprintf "%d programming bit(s) stuck (mask 0x%016Lx, value 0x%016Lx)"
+      (popcount64 mask) mask value
+  | Register_flip { rate; seed } ->
+    Printf.sprintf "key-register upsets, per-bit flip rate %.3f (seed %d)" rate seed
+  | Comparator_drift { offset_v } ->
+    Printf.sprintf "comparator threshold drift %+.2f V" offset_v
+  | Pvt_drift { scale } ->
+    Printf.sprintf "supply/temperature excursion, %.1f%% parameter drift" (scale *. 100.0)
+  | Burst_noise { rate; amplitude; seed } ->
+    Printf.sprintf "RF burst noise, rate %.4f, amplitude %.1f mV (seed %d)" rate
+      (amplitude *. 1e3) seed
+  | Aging { hours } -> Printf.sprintf "%.0f hours of field use" hours

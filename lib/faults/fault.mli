@@ -1,0 +1,74 @@
+(** The fault taxonomy for the stress campaigns.
+
+    Each constructor is one physical failure mechanism of the locked
+    receiver, expressed at the level where it acts:
+
+    - programming-fabric faults rewrite the configuration word between
+      the key register and the analog knobs ({!Stuck_bits},
+      {!Register_flip});
+    - analog faults perturb the die itself ({!Comparator_drift},
+      {!Pvt_drift}, {!Aging});
+    - environmental faults corrupt the antenna-referred input
+      ({!Burst_noise}).
+
+    Faults are plain data; {!Inject} turns a list of them into a
+    faulted receiver.  Everything is deterministic: the same fault list
+    on the same die seed reproduces the same behaviour exactly. *)
+
+type t =
+  | Stuck_bits of { mask : int64; value : int64 }
+      (** Programming bits under [mask] permanently read the
+          corresponding bits of [value], whatever the key register
+          holds. *)
+  | Register_flip of { rate : float; seed : int }
+      (** Transient key-register upsets: each of the 64 bits flips with
+          probability [rate] on every configuration load, drawn
+          deterministically from [seed]. *)
+  | Comparator_drift of { offset_v : float }
+      (** Additive comparator threshold shift in volts. *)
+  | Pvt_drift of { scale : float }
+      (** Correlated supply/temperature excursion: every process
+          parameter shifts by [scale * z] with a per-(die, parameter)
+          standard normal [z]. *)
+  | Burst_noise of { rate : float; amplitude : float; seed : int }
+      (** Impulsive noise at the RF input: each input sample is hit
+          with probability [rate] by a Gaussian burst of the given
+          amplitude (volts), drawn deterministically from [seed]. *)
+  | Aging of { hours : float }
+      (** BTI/HCI-style drift of [hours] of field use. *)
+
+type severity = Mild | Moderate | Severe
+
+val all_severities : severity list
+val severity_name : severity -> string
+
+val severity_scale : severity -> float
+(** 1x / 3x / 10x: each step is roughly 3x the physical stress. *)
+
+val stuck_bit : bit:int -> value:bool -> t
+(** One programming bit stuck at 0 or 1.  Out-of-range bit positions
+    yield a no-op fault. *)
+
+val stuck_field : name:string -> code:int -> t
+(** A whole named configuration field stuck at [code] — the model of a
+    fabric defect taking out one knob's driver. *)
+
+val random_stuck : seed:int -> severity -> t
+(** 1 / 3 / 10 randomly placed stuck bits with random stuck values. *)
+
+val register_upsets : seed:int -> severity -> t
+val comparator_drift : severity -> t
+val pvt : severity -> t
+val burst_noise : seed:int -> severity -> t
+val aging : severity -> t
+(** Severity-calibrated instances of each mechanism, used by
+    {!Campaign}'s sweep grid. *)
+
+val name : t -> string
+(** Short kebab-case mechanism name (stable; used in reports/JSON). *)
+
+val popcount64 : int64 -> int
+(** Number of set bits; how many programming bits a stuck-at mask covers. *)
+
+val describe : t -> string
+(** Human-readable one-liner including the fault's parameters. *)

@@ -1,0 +1,18 @@
+(** Minimal JSON emitter for machine-readable campaign output.
+
+    Deliberately tiny (the container has no JSON library and the
+    campaign only writes): values in, compact single-line strings out.
+    Non-finite floats serialise as [null] — a degraded die's [-inf]
+    metrics must not produce invalid JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)

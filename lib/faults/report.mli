@@ -1,0 +1,20 @@
+(** Campaign rendering: ASCII tables for humans, JSON lines for
+    machines.  The same campaign value feeds both, so the two outputs
+    can never disagree. *)
+
+val field_of_bit : int -> string
+(** The configuration field owning a key-bit position. *)
+
+val verdict_string : Calibration.Calibrate.outcome -> string
+
+val print : Campaign.t -> unit
+(** ASCII tables: per-mechanism lock-margin statistics, the single-bit
+    corruption cliff, the calibration-defeat demos, and the campaign
+    checks. *)
+
+val json_lines : Campaign.t -> string list
+(** One compact JSON object per line: a campaign header, then one line
+    per cell, flip probe, demo, and check. *)
+
+val print_json : Campaign.t -> unit
+(** [json_lines] to stdout. *)

@@ -2,6 +2,8 @@ type t = {
   chip : Circuit.Process.chip;
   standard : Standards.t;
   vglna : Vglna.t;
+  fabric : (Config.t -> Config.t) option;
+  rf_fault : (float array -> float array) option;
 }
 
 type result = {
@@ -12,18 +14,28 @@ type result = {
   fs_baseband : float;
 }
 
-let create chip standard =
-  { chip; standard; vglna = Vglna.create chip ~fs:(Standards.fs standard) }
+let create ?fabric ?rf_fault chip standard =
+  { chip; standard; vglna = Vglna.create chip ~fs:(Standards.fs standard); fabric; rf_fault }
 
 let chip t = t.chip
 let standard t = t.standard
 let fs t = Standards.fs t.standard
 
+(* The programming fabric sits between the key register and the analog
+   knobs: a faulty fabric (stuck bits, transient upsets) rewrites the
+   word actually applied.  A healthy receiver has no hook and pays
+   nothing. *)
+let applied_config t config =
+  match t.fabric with
+  | None -> config
+  | Some f -> f config
+
 let slice_to_bit x = Array.map (fun v -> if v >= 0.0 then 1.0 else -1.0) x
 
-let sdm_of_config t config = Sdm.create t.chip ~fs:(fs t) config
+let sdm_of_config t config = Sdm.create t.chip ~fs:(fs t) (applied_config t config)
 
 let run t ~analog ?(digital = Decimator.default_config) ?(settle = 1024) ?(slice = true) ~input () =
+  let analog = applied_config t analog in
   let n = Array.length input in
   (* Prepend the settle prefix by repeating the record head: for
      periodic test tones this keeps the steady-state phase coherent. *)
@@ -31,6 +43,11 @@ let run t ~analog ?(digital = Decimator.default_config) ?(settle = 1024) ?(slice
   for i = 0 to settle + n - 1 do
     extended.(i) <- input.((i + n - (settle mod n)) mod n)
   done;
+  let extended =
+    match t.rf_fault with
+    | None -> extended
+    | Some f -> f extended
+  in
   let amplified = Vglna.run t.vglna ~code:analog.Config.vglna_gain extended in
   let sdm = Sdm.create t.chip ~fs:(fs t) analog in
   let mod_full = Sdm.run sdm amplified in

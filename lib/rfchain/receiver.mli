@@ -22,7 +22,18 @@ type result = {
   fs_baseband : float;        (** decimated output rate *)
 }
 
-val create : Circuit.Process.chip -> Standards.t -> t
+val create :
+  ?fabric:(Config.t -> Config.t) ->
+  ?rf_fault:(float array -> float array) ->
+  Circuit.Process.chip ->
+  Standards.t ->
+  t
+(** [fabric] models a faulty programming fabric: it rewrites the
+    configuration word between the key register and the analog knobs
+    (stuck programming bits, transient register upsets) and applies to
+    every run, including calibration — the golden path passes no hook
+    and is untouched.  [rf_fault] perturbs the antenna-referred input
+    record (burst noise / interferers) before the VGLNA. *)
 
 val chip : t -> Circuit.Process.chip
 val standard : t -> Standards.t
@@ -50,7 +61,12 @@ val test_tone_frequency : t -> n:int -> float
 
 val sdm_of_config : t -> Config.t -> Sdm.t
 (** The modulator instance this receiver would run under a given word —
-    exposed for calibration (oscillation mode) and white-box tests. *)
+    exposed for calibration (oscillation mode) and white-box tests.
+    A [fabric] fault hook applies here too. *)
+
+val applied_config : t -> Config.t -> Config.t
+(** The word the analog knobs actually see: identity on a healthy
+    receiver, the fault-rewritten word when a [fabric] hook is set. *)
 
 val slice_to_bit : float array -> float array
 (** The digital section's 1-bit input boundary. *)

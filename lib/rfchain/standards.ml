@@ -27,4 +27,6 @@ let max_frequency =
 
 let all = [ lower_band; zigbee; wifi_b; bluetooth; max_frequency ]
 
+let find_opt name = List.find_opt (fun s -> s.name = name) all
 let find name = List.find (fun s -> s.name = name) all
+let names = List.map (fun s -> s.name) all

@@ -36,5 +36,11 @@ val max_frequency : t
 
 val all : t list
 
+val find_opt : string -> t option
+(** Lookup by name. *)
+
 val find : string -> t
-(** Lookup by name.  Raises [Not_found]. *)
+(** Lookup by name.  Raises [Not_found]; prefer {!find_opt}. *)
+
+val names : string list
+(** The known standard names, in [all] order — for error messages. *)

@@ -12,7 +12,7 @@ let deployed_oracle =
     | None ->
       let chip = Circuit.Process.fabricate ~seed:42 () in
       let rx = Rfchain.Receiver.create chip std in
-      let report = Calibration.Calibrate.run ~passes:1 rx in
+      let report = (Calibration.Calibrate.run ~passes:1 rx).Calibration.Calibrate.report in
       let key = Core.Key.make ~standard:std ~chip report.Calibration.Calibrate.key in
       let oracle = Attacks.Oracle.deploy std ~chip_seed:42 ~key in
       cache := Some oracle;
@@ -34,6 +34,25 @@ let test_refab_counts_trials () =
   Alcotest.(check int) "fast probe is one trial" 1 (Attacks.Oracle.trials_spent refab);
   let _ = Attacks.Oracle.try_key refab Rfchain.Config.nominal in
   Alcotest.(check bool) "full measurement counted" true (Attacks.Oracle.trials_spent refab >= 3)
+
+let test_trial_watchdog () =
+  let oracle = deployed_oracle () in
+  let refab = Attacks.Oracle.refabricate ~trial_limit:5 oracle ~attacker_seed:8 in
+  let r = Attacks.Brute_force.run ~budget:1000 refab in
+  Alcotest.(check bool)
+    (Printf.sprintf "brute force stopped by watchdog (spent %d)" (Attacks.Oracle.trials_spent refab))
+    true
+    (Attacks.Oracle.trials_spent refab <= 7 && r.Attacks.Brute_force.trials < 1000);
+  (match Attacks.Oracle.try_key_fast refab Rfchain.Config.nominal with
+  | Error (Attacks.Oracle.Budget_exhausted { limit; _ }) ->
+    Alcotest.(check int) "reports the armed limit" 5 limit
+  | Ok _ -> Alcotest.fail "watchdog did not trip");
+  let sa =
+    Attacks.Optimize.simulated_annealing ~budget:1000
+      (Attacks.Oracle.refabricate ~trial_limit:5 oracle ~attacker_seed:9)
+  in
+  Alcotest.(check bool) "SA reports the oracle watchdog" true
+    (sa.Attacks.Optimize.termination = Attacks.Optimize.Oracle_exhausted)
 
 (* ----------------------------------------------------------------- Cost *)
 
@@ -142,6 +161,7 @@ let () =
         [
           Alcotest.test_case "reference performance" `Slow test_oracle_reference;
           Alcotest.test_case "trial accounting" `Quick test_refab_counts_trials;
+          Alcotest.test_case "trial watchdog" `Slow test_trial_watchdog;
         ] );
       ( "cost",
         [

@@ -3,6 +3,11 @@
 let std = Rfchain.Standards.max_frequency
 let rx_of seed = Rfchain.Receiver.create (Circuit.Process.fabricate ~seed ()) std
 
+let osc_tune_exn rx =
+  match Calibration.Osc_tune.run rx with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Calibration.Osc_tune.error_to_string e)
+
 let test_osc_config_modes () =
   let cfg = Calibration.Osc_tune.oscillation_config Rfchain.Config.nominal in
   Alcotest.(check bool) "comparator buffered" false cfg.Rfchain.Config.comp_clock_enable;
@@ -13,7 +18,7 @@ let test_osc_config_modes () =
 
 let test_osc_tune_accuracy () =
   let rx = rx_of 42 in
-  let result = Calibration.Osc_tune.run rx in
+  let result = osc_tune_exn rx in
   Alcotest.(check bool)
     (Printf.sprintf "tuning error < 1 MHz (got %.0f kHz)" (result.Calibration.Osc_tune.freq_error_hz /. 1e3))
     true
@@ -34,7 +39,7 @@ let test_osc_tune_accuracy () =
 
 let test_osc_tune_backoff () =
   let rx = rx_of 42 in
-  let result = Calibration.Osc_tune.run rx in
+  let result = osc_tune_exn rx in
   let sdm_at gm_q =
     Rfchain.Receiver.sdm_of_config rx
       {
@@ -51,14 +56,14 @@ let test_osc_tune_backoff () =
     || Rfchain.Sdm.oscillates (sdm_at (result.Calibration.Osc_tune.gm_q + 1)))
 
 let test_osc_tune_per_chip () =
-  let r1 = Calibration.Osc_tune.run (rx_of 1) in
-  let r2 = Calibration.Osc_tune.run (rx_of 2) in
+  let r1 = osc_tune_exn (rx_of 1) in
+  let r2 = osc_tune_exn (rx_of 2) in
   Alcotest.(check bool) "cap codes differ across dice" true
     (r1.Calibration.Osc_tune.cap_coarse <> r2.Calibration.Osc_tune.cap_coarse
     || r1.Calibration.Osc_tune.cap_fine <> r2.Calibration.Osc_tune.cap_fine)
 
 let test_osc_measurement_budget () =
-  let r = Calibration.Osc_tune.run (rx_of 42) in
+  let r = osc_tune_exn (rx_of 42) in
   (* Binary search over two 8-bit arrays plus the -Gm back-off must stay
      well under exhaustive search (2 * 256 + 64 trials). *)
   Alcotest.(check bool)
@@ -91,7 +96,10 @@ let test_coordinate_search_counts () =
 
 let test_full_calibration_meets_spec () =
   let rx = rx_of 1234 in
-  let report = Calibration.Calibrate.run rx in
+  let outcome = Calibration.Calibrate.run rx in
+  Alcotest.(check bool) "verdict converged" true
+    (outcome.Calibration.Calibrate.verdict = Calibration.Calibrate.Converged);
+  let report = outcome.Calibration.Calibrate.report in
   Alcotest.(check bool)
     (Printf.sprintf "SNR(mod) %.1f meets spec" report.Calibration.Calibrate.snr_mod_db)
     true
@@ -113,7 +121,7 @@ let test_full_calibration_meets_spec () =
 
 let test_calibration_other_standard () =
   let rx = Rfchain.Receiver.create (Circuit.Process.fabricate ~seed:55 ()) Rfchain.Standards.bluetooth in
-  let report = Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false rx in
+  let report = (Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false rx).Calibration.Calibrate.report in
   Alcotest.(check bool)
     (Printf.sprintf "bluetooth SNR %.1f meets spec" report.Calibration.Calibrate.snr_mod_db)
     true

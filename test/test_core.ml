@@ -177,7 +177,7 @@ let test_threats () =
   let rx = Rfchain.Receiver.create (chip ()) std in
   (* Full calibration (with the SFDR term): threat scenarios check every
      specified performance, so the golden part must genuinely pass. *)
-  let report = Calibration.Calibrate.run ~passes:1 rx in
+  let report = (Calibration.Calibrate.run ~passes:1 rx).Calibration.Calibrate.report in
   let key = Core.Key.make ~standard:std ~chip:(chip ()) report.Calibration.Calibrate.key in
   let clone = Core.Threat_model.cloning std ~golden_key:key in
   Alcotest.(check bool) "cloning defeated" false clone.Core.Threat_model.attacker_success;
