@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke ci clean
 
 all: build
 
@@ -14,7 +14,33 @@ faults-smoke:
 	dune exec bin/repro.exe -- faults --seed 42 --standard bluetooth | tee /tmp/faults-smoke.out
 	! grep -q '\[FAIL\]' /tmp/faults-smoke.out
 
-ci: build test faults-smoke
+# The profiling workload must exercise every instrumented layer: at
+# least 8 distinct span rows between the summary header and the
+# counters section, including one from each of rfchain, sigkit,
+# metrics, calibration and attacks.
+profile-smoke:
+	dune exec bin/repro.exe -- profile --seed 42 --standard bluetooth | tee /tmp/profile-smoke.out
+	test $$(sed -n '/^span /,/^counters/p' /tmp/profile-smoke.out | grep -c '^[a-z]') -ge 8
+	grep -q '^sdm\.' /tmp/profile-smoke.out
+	grep -q '^fft\.' /tmp/profile-smoke.out
+	grep -q '^measure\.' /tmp/profile-smoke.out
+	grep -q '^calibrate\.' /tmp/profile-smoke.out
+	grep -q '^attack\.' /tmp/profile-smoke.out
+
+# Telemetry must observe without perturbing: the instrumented run's
+# figure output must be byte-identical to the plain run, the golden
+# calibration numbers must not drift, and the emitted Chrome trace
+# must contain complete ("ph":"X") span events.
+telemetry-smoke:
+	dune exec bin/repro.exe -- fig8 --seed 42 --standard bluetooth > /tmp/fig8-plain.out
+	grep -q 'SNR(mod) 43.1 dB, SNR(rx) 41.8 dB, SFDR 35.0 dB' /tmp/fig8-plain.out
+	dune exec bin/repro.exe -- fig8 --seed 42 --standard bluetooth \
+	  --metrics --trace fig8.trace.json > /tmp/fig8-metrics.out
+	head -n $$(wc -l < /tmp/fig8-plain.out) /tmp/fig8-metrics.out | cmp - /tmp/fig8-plain.out
+	grep -q '"traceEvents"' fig8.trace.json
+	grep -q '"ph":"X"' fig8.trace.json
+
+ci: build test faults-smoke profile-smoke telemetry-smoke
 
 clean:
 	dune clean

@@ -124,6 +124,15 @@ let afe_fixture = lazy (Afe.Afe_chain.create (Circuit.Process.fabricate ~seed:90
 
 let bench_afe_measure () = ignore (Afe.Afe_chain.measure (Lazy.force afe_fixture) Afe.Afe_config.nominal)
 
+(* TELEMETRY kernels: the instrumentation's own cost.  The disabled
+   span is the price every instrumented call site pays on a plain run
+   (the overhead policy says near-zero); counter increments are
+   always-on, so their cost rides on every simulator step. *)
+let telemetry_bench_counter = Telemetry.Counter.make "bench.telemetry_probe"
+
+let bench_span_disabled () = Telemetry.Span.with_ ~name:"bench.disabled" (fun () -> ())
+let bench_counter_incr () = Telemetry.Counter.incr telemetry_bench_counter
+
 let tests =
   [
     Test.make ~name:"kernel:fft-8192" (Staged.stage bench_fft);
@@ -140,6 +149,8 @@ let tests =
     Test.make ~name:"onchip:alu-evaluation" (Staged.stage bench_onchip_alu);
     Test.make ~name:"faults:campaign-cell" (Staged.stage bench_faults_cell);
     Test.make ~name:"generality:afe-measure" (Staged.stage bench_afe_measure);
+    Test.make ~name:"telemetry:span-disabled" (Staged.stage bench_span_disabled);
+    Test.make ~name:"telemetry:counter-incr" (Staged.stage bench_counter_incr);
   ]
 
 let run_benchmarks () =
@@ -226,6 +237,8 @@ let run_harness () =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let metrics = Array.exists (( = ) "--metrics") Sys.argv in
+  if metrics then Telemetry.Control.set_enabled true;
   Printf.printf "calibrating the reference die ...\n%!";
   let c = Lazy.force ctx in
   Printf.printf "reference calibration: SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB\n\n%!"
@@ -233,4 +246,8 @@ let () =
     c.Experiments.Context.calibration.Calibration.Calibrate.snr_rx_db
     c.Experiments.Context.calibration.Calibration.Calibrate.sfdr_db;
   run_benchmarks ();
-  if not quick then run_harness ()
+  if not quick then run_harness ();
+  if metrics then begin
+    print_newline ();
+    Telemetry.Export.summary_table ()
+  end

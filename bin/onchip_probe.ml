@@ -2,11 +2,11 @@
 let () =
   let rng = Sigkit.Rng.create 5 in
   let locked = Netlist.Logic_lock.lock rng (Netlist.Bench_circuits.ripple_adder 8) ~key_bits:16 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
   let r = Netlist.Sat_attack.run ~seed:11 locked in
-  let t1 = Unix.gettimeofday () in
+  let elapsed = Telemetry.Clock.elapsed_ns ~since:t0 in
   Printf.printf "queries %d, candidates left %d, %.1f s\n" r.Netlist.Sat_attack.oracle_queries
-    r.Netlist.Sat_attack.candidates_left (t1 -. t0);
+    r.Netlist.Sat_attack.candidates_left (Telemetry.Clock.ns_to_s elapsed);
   match r.Netlist.Sat_attack.found_key with
   | Some key ->
     Printf.printf "key recovered; corruption under it: %.4f\n"

@@ -22,6 +22,39 @@ let budget_arg =
   let doc = "Trial budget per empirical attack." in
   Arg.(value & opt int 400 & info [ "budget" ] ~docv:"N" ~doc)
 
+(* Telemetry plumbing shared by every subcommand: `--metrics` prints
+   the span/counter summary on exit, `--trace FILE` writes a Chrome
+   trace_event file (open in chrome://tracing or Perfetto), and
+   `--trace-jsonl FILE` writes the raw event stream.  Any of the three
+   enables span collection; with none of them, telemetry spans stay
+   disabled and the run is byte-identical to an uninstrumented build. *)
+let telemetry_term =
+  let metrics_arg =
+    let doc = "Print the telemetry summary table (spans, counters, histograms) on exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Write a Chrome trace_event JSON trace to $(docv) on exit." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let trace_jsonl_arg =
+    let doc = "Write the telemetry event stream as JSON lines to $(docv) on exit." in
+    Arg.(value & opt (some string) None & info [ "trace-jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let setup metrics trace trace_jsonl =
+    if metrics || trace <> None || trace_jsonl <> None then begin
+      Telemetry.Control.set_enabled true;
+      at_exit (fun () ->
+          Option.iter Telemetry.Export.write_chrome_trace trace;
+          Option.iter Telemetry.Export.write_jsonl trace_jsonl;
+          if metrics then begin
+            print_newline ();
+            Telemetry.Export.summary_table ()
+          end)
+    end
+  in
+  Term.(const setup $ metrics_arg $ trace_arg $ trace_jsonl_arg)
+
 let find_standard_or_exit name =
   match Rfchain.Standards.find_opt name with
   | Some standard -> standard
@@ -42,51 +75,51 @@ let context ~seed ~standard =
   ctx
 
 let cmd_of name doc run =
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ seed_arg $ standard_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ telemetry_term $ seed_arg $ standard_arg)
 
-let fig7_9 seed standard keys =
+let fig7_9 () seed standard keys =
   let ctx = context ~seed ~standard in
   Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run ~n_invalid:keys ctx)
 
-let fig8 seed standard =
+let fig8 () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Fig8.print (Experiments.Fig8.run ctx)
 
-let fig10 seed standard =
+let fig10 () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Fig10.print (Experiments.Fig10.run ctx)
 
-let fig11 seed standard =
+let fig11 () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Fig11.print ctx (Experiments.Fig11.run ctx)
 
-let fig12 seed standard =
+let fig12 () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Fig12.print ctx (Experiments.Fig12.run ctx)
 
-let security seed standard budget =
+let security () seed standard budget =
   let ctx = context ~seed ~standard in
   Experiments.Security_table.print (Experiments.Security_table.run ~budget ctx)
 
-let compare seed standard =
+let compare () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Compare_table.print (Experiments.Compare_table.run ctx)
 
-let ablations seed standard =
+let ablations () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Ablations.print ctx (Experiments.Ablations.run ctx)
 
-let calibrate seed standard =
+let calibrate () seed standard =
   let ctx = context ~seed ~standard in
   List.iter print_endline ctx.Experiments.Context.calibration.Calibration.Calibrate.log;
   Format.printf "%a@." Rfchain.Config.pp ctx.Experiments.Context.golden
 
-let lot seed standard =
+let lot () seed standard =
   let standard_t = find_standard_or_exit standard in
   Printf.printf "calibrating an 8-die lot (seed base %d) ...\n%!" seed;
   Experiments.Lot_study.print (Experiments.Lot_study.run ~seed_base:seed standard_t)
 
-let faults seed standard dies json =
+let faults () seed standard dies json =
   (* The campaign layer is exception-free by construction: every
      failure mode comes back as data and the command exits 0, printing
      the degraded reports it found. *)
@@ -97,11 +130,11 @@ let faults seed standard dies json =
   | Ok campaign ->
     if json then Faults.Report.print_json campaign else Faults.Report.print campaign
 
-let onchip seed standard =
+let onchip () seed standard =
   let ctx = context ~seed ~standard in
   Experiments.Onchip_lock.print ctx (Experiments.Onchip_lock.run ctx)
 
-let aging seed standard =
+let aging () seed standard =
   let ctx = context ~seed ~standard in
   let t = Experiments.Aging_study.run ctx in
   Experiments.Aging_study.print t;
@@ -109,7 +142,7 @@ let aging seed standard =
     (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
     (Experiments.Aging_study.checks ctx t)
 
-let avalanche seed standard =
+let avalanche () seed standard =
   let ctx = context ~seed ~standard in
   let t = Experiments.Avalanche.run ctx in
   Experiments.Avalanche.print t;
@@ -117,10 +150,43 @@ let avalanche seed standard =
     (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
     (Experiments.Avalanche.checks ctx t)
 
-let generality _seed _standard =
+let generality () _seed _standard =
   Experiments.Generality.print (Experiments.Generality.run ())
 
-let all seed standard keys budget =
+(* A bounded, representative workload under forced telemetry: one fast
+   calibration (exercises the rfchain/sigkit/calibration spans), one of
+   each bench measurement, and a small brute-force attack against a
+   re-fab die.  Useful as a quick profiling smoke test — it touches
+   every instrumented layer in a few seconds. *)
+let profile () seed standard =
+  Telemetry.Control.set_enabled true;
+  let standard = find_standard_or_exit standard in
+  Printf.printf "profiling a bounded workload (die %d, %s) ...\n%!" seed
+    standard.Rfchain.Standards.name;
+  Telemetry.Span.with_ ~name:"profile"
+    ~attrs:[ ("seed", string_of_int seed); ("standard", standard.Rfchain.Standards.name) ]
+    (fun () ->
+      let ctx = Experiments.Context.create ~seed ~standard ~fast:true () in
+      let bench = Metrics.Measure.create ctx.Experiments.Context.rx in
+      let golden = ctx.Experiments.Context.golden in
+      ignore (Metrics.Measure.snr_mod_db bench golden);
+      ignore (Metrics.Measure.snr_rx_db bench golden);
+      ignore (Metrics.Measure.sfdr_db bench golden);
+      let key =
+        Core.Key.make ~standard:ctx.Experiments.Context.standard ~chip:ctx.Experiments.Context.chip
+          golden
+      in
+      let oracle =
+        Attacks.Oracle.deploy ctx.Experiments.Context.standard ~chip_seed:seed ~key
+      in
+      let refab = Attacks.Oracle.refabricate ~trial_limit:200 oracle ~attacker_seed:777 in
+      ignore
+        (Telemetry.Span.with_ ~name:"attack.brute_force" (fun () ->
+             Attacks.Brute_force.run ~budget:10 refab)));
+  print_newline ();
+  Telemetry.Export.summary_table ()
+
+let all () seed standard keys budget =
   let ctx = context ~seed ~standard in
   Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run ~n_invalid:keys ctx);
   print_newline ();
@@ -160,17 +226,17 @@ let commands =
   [
     Cmd.v
       (Cmd.info "fig7" ~doc:"SNR per key at the modulator output (also prints Fig. 9 data)")
-      Term.(const fig7_9 $ seed_arg $ standard_arg $ keys_arg);
+      Term.(const fig7_9 $ telemetry_term $ seed_arg $ standard_arg $ keys_arg);
     Cmd.v
       (Cmd.info "fig9" ~doc:"SNR per key at the receiver output (same run as fig7)")
-      Term.(const fig7_9 $ seed_arg $ standard_arg $ keys_arg);
+      Term.(const fig7_9 $ telemetry_term $ seed_arg $ standard_arg $ keys_arg);
     cmd_of "fig8" "Transient modulator output, correct vs deceptive key" fig8;
     cmd_of "fig10" "PSD at the modulator output, correct vs deceptive key" fig10;
     cmd_of "fig11" "SNR vs input power over the VGLNA segments" fig11;
     cmd_of "fig12" "Two-tone SFDR, correct vs deceptive key" fig12;
     Cmd.v
       (Cmd.info "security" ~doc:"Attack-cost table and empirical attacks (Section VI-B)")
-      Term.(const security $ seed_arg $ standard_arg $ budget_arg);
+      Term.(const security $ telemetry_term $ seed_arg $ standard_arg $ budget_arg);
     cmd_of "compare" "Comparison with prior locking techniques (Section II)" compare;
     cmd_of "ablations" "Design-choice ablations (slicing, process variation)" ablations;
     cmd_of "calibrate" "Run the 14-step calibration and print the secret key" calibrate;
@@ -189,12 +255,15 @@ let commands =
        (Cmd.info "faults"
           ~doc:"Fault-injection stress campaign: lock margins, bit-corruption cliff, degraded \
                 calibration")
-       Term.(const faults $ seed_arg $ standard_arg $ dies_arg $ json_arg));
+       Term.(const faults $ telemetry_term $ seed_arg $ standard_arg $ dies_arg $ json_arg));
     cmd_of "avalanche" "SNR collapse vs key Hamming distance; per-bit key strength" avalanche;
     cmd_of "generality" "Second case study: fabric locking on a 24-bit baseband AFE" generality;
+    cmd_of "profile"
+      "Run a bounded representative workload with telemetry forced on; print the span table"
+      profile;
     Cmd.v
       (Cmd.info "all" ~doc:"Every figure and table in sequence")
-      Term.(const all $ seed_arg $ standard_arg $ keys_arg $ budget_arg);
+      Term.(const all $ telemetry_term $ seed_arg $ standard_arg $ keys_arg $ budget_arg);
   ]
 
 let () =

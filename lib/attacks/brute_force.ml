@@ -1,6 +1,7 @@
 type result = {
   trials : int;
   success : bool;
+  oracle_exhausted : bool;
   best_config : Rfchain.Config.t;
   best_snr_mod_db : float;
   best_spec_distance : float;
@@ -49,6 +50,7 @@ let run ?(seed = 0xBF) ~budget refab =
   {
     trials = !trial;
     success = !success;
+    oracle_exhausted = !watchdog;
     best_config = !best_config;
     best_snr_mod_db = !best_snr;
     best_spec_distance = !best_distance;

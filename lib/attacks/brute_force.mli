@@ -8,6 +8,7 @@
 type result = {
   trials : int;
   success : bool;
+  oracle_exhausted : bool;        (** the bench watchdog stopped the search early *)
   best_config : Rfchain.Config.t;
   best_snr_mod_db : float;        (** best modulator-output SNR seen *)
   best_spec_distance : float;     (** smallest aggregate shortfall seen *)

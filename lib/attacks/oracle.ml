@@ -36,14 +36,29 @@ let refabricate ?trial_limit t ~attacker_seed =
 
 let trials_spent r = Metrics.Measure.trial_count r.bench
 
+let queries_counter = Telemetry.Counter.make "oracle.queries"
+let denied_counter = Telemetry.Counter.make "oracle.denied"
+
+(* Everything an attack spends ends up on a bench (Metrics.Measure) or
+   in oscillation-mode probes (the tapped ablation's Osc_tune phase);
+   summing both odometers gives the attack's true measurement cost,
+   independent of its own accounting. *)
+let global_queries () =
+  Metrics.Measure.global_trial_count () + Rfchain.Sdm.global_probe_count ()
+
 (* The watchdog: every probe first checks the bench's odometer against
    the hard limit, so a runaway search loop cannot spend unbounded
    measurement time no matter what its own budget accounting does. *)
 let guard r measure =
   match r.trial_limit with
   | Some limit when trials_spent r >= limit ->
+    Telemetry.Counter.incr denied_counter;
     Error (Budget_exhausted { spent = trials_spent r; limit })
-  | _ -> Ok (measure ())
+  | _ ->
+    let before = trials_spent r in
+    let result = measure () in
+    Telemetry.Counter.add queries_counter (trials_spent r - before);
+    Ok result
 
 (* The full check measures every specified performance (the attacker
    must satisfy all of them simultaneously — the paper's multi-objective

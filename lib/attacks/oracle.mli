@@ -44,5 +44,12 @@ val try_key_fast : refab -> Rfchain.Config.t -> (float, error) result
 
 val trials_spent : refab -> int
 
+val global_queries : unit -> int
+(** Process-wide oracle-query odometer: bench measurements plus
+    oscillation-mode probes, summed from the always-on telemetry
+    counters.  Bracket an attack with two reads of this value to get
+    the measurement cost it *actually* consumed — the number attack
+    papers report — as opposed to the budget it was configured with. *)
+
 val spec_distance : refab -> Metrics.Spec.measurement -> float
 (** Aggregate shortfall from the oracle's standard. *)

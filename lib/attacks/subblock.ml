@@ -4,6 +4,7 @@ type result = {
   trials : int;
   best_snr_mod_db : float;
   success : bool;
+  oracle_exhausted : bool;
 }
 
 let cap_only_attack ?(seed = 0xCA) ~budget refab =
@@ -13,11 +14,13 @@ let cap_only_attack ?(seed = 0xCA) ~budget refab =
   let start = Rfchain.Config.random rng in
   let best_snr = ref neg_infinity in
   let trials = ref 0 in
+  let exhausted = ref false in
   let objective config =
     match Oracle.try_key_fast refab config with
     | Error (Oracle.Budget_exhausted _) ->
       (* Watchdog tripped: poison every further probe so the search
          coasts to a stop on its pass counter. *)
+      exhausted := true;
       neg_infinity
     | Ok snr ->
       incr trials;
@@ -37,6 +40,7 @@ let cap_only_attack ?(seed = 0xCA) ~budget refab =
     trials = !trials;
     best_snr_mod_db = !best_snr;
     success = !best_snr >= 35.0;
+    oracle_exhausted = !exhausted;
   }
 
 let tapped_attack ?(seed = 0x7A) ~budget standard ~attacker_seed =
@@ -89,6 +93,9 @@ let tapped_attack ?(seed = 0x7A) ~budget standard ~attacker_seed =
     trials = !trials;
     best_snr_mod_db = !best_snr;
     success = !best_snr >= 35.0;
+    (* The tapped ablation measures its own die directly — no
+       watchdog-armed oracle bench sits in the path. *)
+    oracle_exhausted = false;
   }
 
 let remaining_key_space_bits ~recovered =

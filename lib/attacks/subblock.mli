@@ -20,6 +20,7 @@ type result = {
   trials : int;
   best_snr_mod_db : float;
   success : bool;
+  oracle_exhausted : bool;  (** the bench watchdog stopped the search early *)
 }
 
 val cap_only_attack : ?seed:int -> budget:int -> Oracle.refab -> result

@@ -54,7 +54,15 @@ let default_offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]
    ladder reaches. *)
 let wide_offsets = [ 1; -1; 2; -2; 4; -4; 8; -8; 16; -16; 32; -32 ]
 
+let attempts_counter = Telemetry.Counter.make "calibrate.attempts"
+let retries_counter = Telemetry.Counter.make "calibrate.retries"
+let converged_counter = Telemetry.Counter.make "calibrate.converged"
+let tank_dead_counter = Telemetry.Counter.make "calibrate.tank_dead"
+let spec_shortfall_counter = Telemetry.Counter.make "calibrate.spec_shortfall"
+
 let attempt_with ~passes ~refine_sfdr ~offsets rx =
+  Telemetry.Counter.incr attempts_counter;
+  Telemetry.Span.with_ ~name:"calibrate.attempt" @@ fun () ->
   let log = ref [] in
   let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
   let fs = Rfchain.Receiver.fs rx in
@@ -95,7 +103,8 @@ let attempt_with ~passes ~refine_sfdr ~offsets rx =
       end
     in
     let outcome =
-      Coordinate_search.maximize ~objective ~fields:step14_fields ~start ~offsets ~passes ()
+      Telemetry.Span.with_ ~name:"calibrate.step14" (fun () ->
+          Coordinate_search.maximize ~objective ~fields:step14_fields ~start ~offsets ~passes ())
     in
     let key = outcome.Coordinate_search.best in
     let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
@@ -145,14 +154,19 @@ let dead_report ~log ~measurements =
   }
 
 let run ?(passes = 2) ?(refine_sfdr = true) ?(max_retries = 2) rx =
+  Telemetry.Span.with_ ~name:"calibrate.run" @@ fun () ->
   let rec go k best_shortfall =
     (* Retry k escalates both the cycle count and the probe ladder: a
        marginal die gets a longer, wider search before we give up. *)
+    if k > 0 then Telemetry.Counter.incr retries_counter;
     let offsets = if k = 0 then default_offsets else wide_offsets in
     match attempt_with ~passes:(passes + k) ~refine_sfdr ~offsets rx with
-    | Ok report -> { report; verdict = Converged; attempts = k + 1 }
+    | Ok report ->
+      Telemetry.Counter.incr converged_counter;
+      { report; verdict = Converged; attempts = k + 1 }
     | Error (Tank_dead { log; measurements }) ->
       (* No amount of re-running steps 1-7 revives a silent tank. *)
+      Telemetry.Counter.incr tank_dead_counter;
       let report = dead_report ~log ~measurements in
       { report; verdict = Degraded (Tank_dead { log; measurements }); attempts = k + 1 }
     | Error (Spec_shortfall { report; shortfall_db } as f) ->
@@ -163,6 +177,7 @@ let run ?(passes = 2) ?(refine_sfdr = true) ?(max_retries = 2) rx =
       in
       if k < max_retries then go (k + 1) best_shortfall
       else begin
+        Telemetry.Counter.incr spec_shortfall_counter;
         let failure, _ = Option.get best_shortfall in
         let report =
           match failure with Spec_shortfall { report; _ } -> report | Tank_dead _ -> report

@@ -36,7 +36,10 @@ let measure_frequency rx config =
 
 let ( let* ) = Result.bind
 
-let run rx =
+let runs_counter = Telemetry.Counter.make "osc_tune.runs"
+let measurements_counter = Telemetry.Counter.make "osc_tune.measurements"
+
+let run_steps rx =
   let f0 = (Rfchain.Receiver.standard rx).Rfchain.Standards.f0_hz in
   let base = oscillation_config Rfchain.Config.nominal in
   let count = ref 0 in
@@ -93,3 +96,11 @@ let run rx =
   in
   let gm_q = back_off 63 in
   Ok { cap_coarse = coarse; cap_fine = fine; gm_q; freq_error_hz; measurements = !count }
+
+let run rx =
+  Telemetry.Counter.incr runs_counter;
+  let result = Telemetry.Span.with_ ~name:"calibrate.osc_tune" (fun () -> run_steps rx) in
+  (match result with
+  | Ok { measurements; _ } | Error (Tank_silent { measurements; _ }) ->
+    Telemetry.Counter.add measurements_counter measurements);
+  result

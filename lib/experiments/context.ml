@@ -10,6 +10,9 @@ type t = {
 let ensemble_seed = 2020
 
 let create ?(seed = 42) ?(standard = Rfchain.Standards.max_frequency) ?(fast = false) () =
+  Telemetry.Span.with_ ~name:"context.create"
+    ~attrs:[ ("seed", string_of_int seed); ("standard", standard.Rfchain.Standards.name) ]
+  @@ fun () ->
   let chip = Circuit.Process.fabricate ~seed () in
   let rx = Rfchain.Receiver.create chip standard in
   let outcome =

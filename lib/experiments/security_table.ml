@@ -1,6 +1,9 @@
 type empirical = {
   attack : string;
   trials : int;
+  queries : int;
+  budget : int;
+  oracle_exhausted : bool;
   best_snr_mod_db : float;
   success : bool;
   transfers : (int * int) option;
@@ -20,10 +23,26 @@ let project trials =
 
 let transfer_lot = 5
 
+(* The bench watchdog is a backstop, not the search budget: attacks
+   count their own evaluations against [budget], and the watchdog trips
+   only when a search's accounting under-counts the measurements it
+   spends (the Oracle_exhausted taxonomy). *)
+let watchdog_factor = 6
+
 let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
   let key = Core.Key.make ~standard:ctx.Context.standard ~chip:ctx.Context.chip ctx.Context.golden in
   let oracle = Attacks.Oracle.deploy ctx.Context.standard ~chip_seed:ctx.Context.seed ~key in
-  let fresh_refab seed = Attacks.Oracle.refabricate oracle ~attacker_seed:seed in
+  let fresh_refab seed =
+    Attacks.Oracle.refabricate ~trial_limit:(watchdog_factor * budget) oracle ~attacker_seed:seed
+  in
+  (* Audit each attack against the process-wide measurement odometer:
+     [queries] is what the attack *actually* consumed, independent of
+     the trial count it reports about itself. *)
+  let audited name f =
+    let before = Attacks.Oracle.global_queries () in
+    let r = Telemetry.Span.with_ ~name:("attack." ^ name) f in
+    (r, Attacks.Oracle.global_queries () - before)
+  in
   (* A key recovered on the attacker's own die is only a piracy win if
      it unlocks other dice (the paper's transferability argument). *)
   let transfer_count config =
@@ -32,10 +51,13 @@ let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
          (fun i -> Core.Threat_model.evaluate_config ctx.Context.standard ~seed:(880000 + i) config)
          (List.init transfer_lot (fun i -> i)))
   in
-  let of_brute (r : Attacks.Brute_force.result) =
+  let of_brute (r : Attacks.Brute_force.result) queries =
     {
       attack = "brute force (random keys)";
       trials = r.Attacks.Brute_force.trials;
+      queries;
+      budget;
+      oracle_exhausted = r.Attacks.Brute_force.oracle_exhausted;
       best_snr_mod_db = r.Attacks.Brute_force.best_snr_mod_db;
       success = r.Attacks.Brute_force.success;
       transfers =
@@ -45,10 +67,13 @@ let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
       projected_wall_clock = project r.Attacks.Brute_force.trials;
     }
   in
-  let of_opt (r : Attacks.Optimize.result) =
+  let of_opt (r : Attacks.Optimize.result) queries =
     {
       attack = r.Attacks.Optimize.attack;
       trials = r.Attacks.Optimize.evaluations;
+      queries;
+      budget;
+      oracle_exhausted = r.Attacks.Optimize.termination = Attacks.Optimize.Oracle_exhausted;
       best_snr_mod_db = r.Attacks.Optimize.best_snr_mod_db;
       success = r.Attacks.Optimize.success;
       transfers =
@@ -58,10 +83,13 @@ let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
       projected_wall_clock = project r.Attacks.Optimize.evaluations;
     }
   in
-  let of_sub (r : Attacks.Subblock.result) =
+  let of_sub (r : Attacks.Subblock.result) queries =
     {
       attack = r.Attacks.Subblock.attack;
       trials = r.Attacks.Subblock.trials;
+      queries;
+      budget;
+      oracle_exhausted = r.Attacks.Subblock.oracle_exhausted;
       best_snr_mod_db = r.Attacks.Subblock.best_snr_mod_db;
       success = r.Attacks.Subblock.success;
       transfers = None;
@@ -70,13 +98,31 @@ let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
   in
   let empirical =
     [
-      of_brute (Attacks.Brute_force.run ~budget (fresh_refab attacker_seed));
-      of_opt (Attacks.Optimize.simulated_annealing ~budget (fresh_refab (attacker_seed + 1)));
-      of_opt (Attacks.Optimize.genetic ~budget (fresh_refab (attacker_seed + 2)));
-      of_sub (Attacks.Subblock.cap_only_attack ~budget (fresh_refab (attacker_seed + 3)));
-      of_sub
-        (Attacks.Subblock.tapped_attack ~budget ctx.Context.standard
-           ~attacker_seed:(attacker_seed + 4));
+      (let r, q =
+         audited "brute_force" (fun () -> Attacks.Brute_force.run ~budget (fresh_refab attacker_seed))
+       in
+       of_brute r q);
+      (let r, q =
+         audited "simulated_annealing" (fun () ->
+             Attacks.Optimize.simulated_annealing ~budget (fresh_refab (attacker_seed + 1)))
+       in
+       of_opt r q);
+      (let r, q =
+         audited "genetic" (fun () ->
+             Attacks.Optimize.genetic ~budget (fresh_refab (attacker_seed + 2)))
+       in
+       of_opt r q);
+      (let r, q =
+         audited "cap_subkey" (fun () ->
+             Attacks.Subblock.cap_only_attack ~budget (fresh_refab (attacker_seed + 3)))
+       in
+       of_sub r q);
+      (let r, q =
+         audited "tapped_refab" (fun () ->
+             Attacks.Subblock.tapped_attack ~budget ctx.Context.standard
+               ~attacker_seed:(attacker_seed + 4))
+       in
+       of_sub r q);
     ]
   in
   (* Capacitor sub-key uniqueness (Section VI-B.1's binary-weighted
@@ -115,6 +161,8 @@ let checks t =
         t.empirical );
     ( "granting the internal tank tap flips the outcome (ablation)",
       List.exists (fun e -> is_tap e && e.success) t.empirical );
+    ( "oracle audit charged every attack with real measurements",
+      List.for_all (fun e -> e.queries > 0) t.empirical );
     ("binary-weighted capacitor sub-key is unique", t.cap_unique_codes = 1);
     ( "unit-switched ablation would multiply sub-keys",
       t.cap_unit_switched_codes > t.cap_unique_codes );
@@ -126,8 +174,8 @@ let print t =
   Printf.printf "## Projected attack costs (paper per-trial times, 2^63 expected trials)\n";
   List.iter (fun r -> Format.printf "%a@." Attacks.Cost.pp_row r) t.cost_rows;
   Printf.printf "\n## Empirical attacks on a re-fabricated die (per-attack budgets)\n";
-  Printf.printf "%-45s %7s  %12s  %-8s %s\n" "attack" "trials" "raw probe max" "success"
-    "projected wall clock @20min/trial";
+  Printf.printf "%-45s %7s  %15s  %12s  %-8s %s\n" "attack" "trials" "queries(act/bud)"
+    "raw probe max" "success" "projected wall clock @20min/trial";
   List.iter
     (fun e ->
       let success_text =
@@ -136,9 +184,16 @@ let print t =
         | true, Some (worked, lot) -> Printf.sprintf "own die (transfers %d/%d)" worked lot
         | true, None -> "own die"
       in
-      Printf.printf "%-45s %7d  %9.1f dB  %-26s %s\n" e.attack e.trials e.best_snr_mod_db
-        success_text e.projected_wall_clock)
+      let queries_text =
+        Printf.sprintf "%d/%d%s" e.queries e.budget (if e.oracle_exhausted then "!" else "")
+      in
+      Printf.printf "%-45s %7d  %15s  %9.1f dB  %-26s %s\n" e.attack e.trials queries_text
+        e.best_snr_mod_db success_text e.projected_wall_clock)
     t.empirical;
+  Printf.printf
+    "queries = measurements actually consumed (bench + oscillation probes, telemetry odometer); \
+     ! = stopped by the oracle watchdog (armed at %dx budget)\n"
+    watchdog_factor;
   Printf.printf "\n## Capacitor sub-key uniqueness\n";
   Printf.printf "binary-weighted: %d code(s) hit the target capacitance; unit-switched ablation: %d\n"
     t.cap_unique_codes t.cap_unit_switched_codes;

@@ -9,7 +9,13 @@
 
 type empirical = {
   attack : string;
-  trials : int;
+  trials : int;                   (** the attack's own evaluation count *)
+  queries : int;                  (** measurements actually consumed, from the
+                                      telemetry odometer ({!Attacks.Oracle.global_queries}
+                                      delta around the attack) — the number attack
+                                      papers report as oracle cost *)
+  budget : int;                   (** the configured per-attack trial budget *)
+  oracle_exhausted : bool;        (** the bench watchdog stopped the search early *)
   best_snr_mod_db : float;        (** raw probe maximum (artifact-prone) *)
   success : bool;                 (** verified full-spec unlock of the attacker's own re-fab die *)
   transfers : (int * int) option; (** (dice unlocked, lot size) for a successful attack's key *)
@@ -25,7 +31,10 @@ type t = {
 }
 
 val run : ?budget:int -> ?attacker_seed:int -> Context.t -> t
-(** [budget] trials per empirical attack (default 400).
+(** [budget] trials per empirical attack (default 400).  Each attack's
+    refab bench is armed with a hard watchdog at 6x the budget, and the
+    measurements it actually consumes are audited against the process
+    telemetry odometer and reported next to the budget.
 
     The paper's §IV-B.3 logic chain is reproduced faithfully: an
     attacker with a re-fabricated die and fast hardware trials *can*

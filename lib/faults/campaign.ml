@@ -82,18 +82,27 @@ let stats_of cells =
         Fault.all_severities)
     mechanisms
 
+let cells_counter = Telemetry.Counter.make "faults.cells"
+let flip_probes_counter = Telemetry.Counter.make "faults.flip_probes"
+let demos_counter = Telemetry.Counter.make "faults.demos"
+
 let run ?(dies = 3) ?(seed = 42) standard =
   if dies < 1 then Error (Error.Empty_sweep { what = "dies" })
   else begin
+    Telemetry.Span.with_ ~name:"faults.campaign"
+      ~attrs:[ ("dies", string_of_int dies); ("standard", standard.Rfchain.Standards.name) ]
+    @@ fun () ->
     let min_snr = standard.Rfchain.Standards.min_snr_db in
     (* Calibrate each die of the lot while healthy: the campaign asks
        what happens to a *provisioned* part when a fault arrives. *)
     let lot =
       List.init dies (fun i ->
           let die_seed = seed + (17 * i) in
-          let chip = Circuit.Process.fabricate ~seed:die_seed () in
-          let rx = Rfchain.Receiver.create chip standard in
-          (die_seed, chip, Calibration.Calibrate.quick rx))
+          Telemetry.Span.with_ ~name:"faults.die" ~attrs:[ ("die", string_of_int die_seed) ]
+            (fun () ->
+              let chip = Circuit.Process.fabricate ~seed:die_seed () in
+              let rx = Rfchain.Receiver.create chip standard in
+              (die_seed, chip, Calibration.Calibrate.quick rx)))
     in
     let chip0, key0 =
       match lot with
@@ -111,6 +120,15 @@ let run ?(dies = 3) ?(seed = 42) standard =
             (fun (mech, make) ->
               List.map
                 (fun severity ->
+                  Telemetry.Counter.incr cells_counter;
+                  Telemetry.Span.with_ ~name:"faults.cell"
+                    ~attrs:
+                      [
+                        ("die", string_of_int die_seed);
+                        ("mechanism", mech);
+                        ("severity", Fault.severity_name severity);
+                      ]
+                  @@ fun () ->
                   let faults = make ~die:die_seed severity in
                   let rx = Inject.receiver chip standard faults in
                   let bench = Metrics.Measure.create rx in
@@ -138,6 +156,7 @@ let run ?(dies = 3) ?(seed = 42) standard =
        verified-SNR measurement). *)
     let flips =
       List.init Rfchain.Config.key_bits (fun bit ->
+          Telemetry.Counter.incr flip_probes_counter;
           let corrupted =
             Rfchain.Config.of_bits
               (Int64.logxor (Rfchain.Config.to_bits key0) (Int64.shift_left 1L bit))
@@ -159,6 +178,8 @@ let run ?(dies = 3) ?(seed = 42) standard =
        procedure cannot converge, exercising both structured failure
        paths (dead tank; completed-but-out-of-spec). *)
     let demo label fault =
+      Telemetry.Counter.incr demos_counter;
+      Telemetry.Span.with_ ~name:"faults.demo" ~attrs:[ ("label", label) ] @@ fun () ->
       let rx = Inject.receiver chip0 standard [ fault ] in
       {
         label;

@@ -16,6 +16,12 @@ val create : ?p_dbm:float -> Rfchain.Receiver.t -> t
 val trial_count : t -> int
 (** Number of measurements performed so far on this bench. *)
 
+val global_trial_count : unit -> int
+(** Process-wide measurement odometer across every bench ever created,
+    read from the always-on telemetry counter [measure.trials].
+    Deltas of this value bracket a computation's measurement cost —
+    the oracle-query accounting of {!Experiments.Security_table}. *)
+
 val snr_mod_db : t -> Rfchain.Config.t -> float
 (** Single-tone SNR at the modulator output (Fig. 7 metric):
     8192-point FFT, OSR 64. *)

@@ -34,7 +34,13 @@ let slice_to_bit x = Array.map (fun v -> if v >= 0.0 then 1.0 else -1.0) x
 
 let sdm_of_config t config = Sdm.create t.chip ~fs:(fs t) (applied_config t config)
 
+let runs = Telemetry.Counter.make "receiver.runs"
+let samples = Telemetry.Counter.make "receiver.samples"
+
 let run t ~analog ?(digital = Decimator.default_config) ?(settle = 1024) ?(slice = true) ~input () =
+  Telemetry.Counter.incr runs;
+  Telemetry.Counter.add samples (Array.length input);
+  Telemetry.Span.with_ ~name:"receiver.run" (fun () ->
   let analog = applied_config t analog in
   let n = Array.length input in
   (* Prepend the settle prefix by repeating the record head: for
@@ -61,7 +67,7 @@ let run t ~analog ?(digital = Decimator.default_config) ?(settle = 1024) ?(slice
     baseband_q;
     fs = fs t;
     fs_baseband = fs t /. float_of_int (Decimator.ratio digital);
-  }
+  })
 
 (* Offset the coherent test tone by a quarter of the band: far enough
    from the carrier bin for clean binning, while the aliased third

@@ -137,17 +137,29 @@ let pole_radius t = t.r
 let oscillates t = t.r >= 1.0
 let signal_gain t = t.gmin /. t.gdac
 
+let osc_probes = Telemetry.Counter.make "sdm.osc_probes"
+
+let global_probe_count () = Telemetry.Counter.value osc_probes
+
 let oscillation_frequency t ~n =
-  let res = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:1.2 () in
-  Circuit.Resonator.oscillation_frequency res ~fs:t.fs ~n
+  Telemetry.Counter.incr osc_probes;
+  Telemetry.Span.with_ ~name:"sdm.oscillation_probe" (fun () ->
+      let res = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:1.2 () in
+      Circuit.Resonator.oscillation_frequency res ~fs:t.fs ~n)
 
 (* Loop-filter feedback coefficients of the z -> -z^2 mapped MOD2:
    k1 = 1 (outer feedback, through both resonators), k2 = -2 (inner). *)
 let k1 = 1.0
 let k2 = -2.0
 
+let runs = Telemetry.Counter.make "sdm.runs"
+let steps = Telemetry.Counter.make "sdm.steps"
+
 let run t input =
   let n = Array.length input in
+  Telemetry.Counter.incr runs;
+  Telemetry.Counter.add steps n;
+  Telemetry.Span.with_ ~name:"sdm.run" (fun () ->
   let cfg = t.config in
   let res1 = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:50.0 () in
   let res2 = Circuit.Resonator.create ~theta:t.tank2.theta ~r:t.r ~limit:50.0 () in
@@ -221,4 +233,4 @@ let run t input =
       (if cfg.cal_buffer_enable then 1.2 *. tanh (t.buffer_gain *. v_sampled /. 1.2)
        else v_sampled)
   done;
-  output
+  output)

@@ -51,6 +51,12 @@ val oscillation_frequency : t -> n:int -> float option
     kick the tank and measure the output frequency.  [None] when the
     oscillation dies out (step 7's vanishing test). *)
 
+val global_probe_count : unit -> int
+(** Process-wide count of oscillation-mode probes performed, from the
+    always-on telemetry counter [sdm.osc_probes].  Together with
+    {!Metrics.Measure.global_trial_count} this is the complete
+    measurement odometer an oracle-query audit reads. *)
+
 val required_delay_code : Circuit.Process.chip -> fs:float -> int
 (** The loop-delay code that exactly compensates this die's excess loop
     delay at [fs] — design knowledge the calibration derives from the

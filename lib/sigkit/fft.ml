@@ -4,12 +4,18 @@ let next_pow2 n =
   let rec grow p = if p >= n then p else grow (p * 2) in
   grow 1
 
+let transforms = Telemetry.Counter.make "fft.transforms"
+let points = Telemetry.Histogram.make "fft.points"
+
 (* In-place iterative Cooley-Tukey.  [sign] is -1 for forward, +1 for
    inverse (engineering convention: forward kernel e^{-j2πkn/N}). *)
 let transform sign re im =
   let n = Array.length re in
   if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
   if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  Telemetry.Counter.incr transforms;
+  Telemetry.Histogram.observe points (float_of_int n);
+  Telemetry.Span.with_ ~name:"fft.transform" (fun () ->
   (* Bit-reversal permutation. *)
   let j = ref 0 in
   for i = 0 to n - 2 do
@@ -51,7 +57,7 @@ let transform sign re im =
       i := !i + !len
     done;
     len := !len * 2
-  done
+  done)
 
 let forward re im = transform (-1) re im
 

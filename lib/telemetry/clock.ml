@@ -1,0 +1,13 @@
+let last = ref 0L
+
+let now_ns () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  if Int64.compare t !last > 0 then last := t;
+  !last
+
+let elapsed_ns ~since =
+  let d = Int64.sub (now_ns ()) since in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9

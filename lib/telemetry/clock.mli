@@ -1,0 +1,19 @@
+(** The repo's single timing idiom: a monotone nanosecond clock.
+
+    The OCaml distribution exposes no raw monotonic clock, so this is
+    the wall clock clamped to be non-decreasing: a backwards NTP step
+    can stall the clock momentarily but can never produce a negative
+    span duration.  Resolution is that of [Unix.gettimeofday]
+    (microseconds), which is far below the millisecond-scale kernels
+    this repo times. *)
+
+val now_ns : unit -> int64
+(** Current monotone timestamp in nanoseconds.  The epoch is
+    arbitrary (process wall clock); only differences are meaningful. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since:t0] = [now_ns () - t0], never negative. *)
+
+val ns_to_ms : int64 -> float
+
+val ns_to_s : int64 -> float

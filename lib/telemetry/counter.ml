@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  mutable value : int;
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let make name =
+  match Hashtbl.find_opt table name with
+  | Some c -> c
+  | None ->
+    let c = { name; value = 0 } in
+    Hashtbl.add table name c;
+    c
+
+let incr t = t.value <- t.value + 1
+let add t n = t.value <- t.value + n
+let value t = t.value
+let name t = t.name
+let find name = Hashtbl.find_opt table name
+
+let snapshot () =
+  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.value <- 0) table

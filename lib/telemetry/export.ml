@@ -1,0 +1,133 @@
+(* Minimal JSON emission, duplicated from Faults.Json on purpose:
+   telemetry sits below every other library and must stay
+   dependency-free. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let jattrs attrs =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ jstr v) attrs) ^ "}"
+
+let summary_table ?(out = stdout) () =
+  let p fmt = Printf.fprintf out fmt in
+  p "# telemetry summary\n";
+  let spans = Span.aggregates () in
+  if spans = [] then p "(no spans recorded — telemetry disabled or nothing instrumented ran)\n"
+  else begin
+    p "%-34s %9s %12s %12s %12s %12s\n" "span" "calls" "total ms" "self ms" "p50 ms" "p99 ms";
+    List.iter
+      (fun (a : Span.aggregate) ->
+        p "%-34s %9d %12.3f %12.3f %12.3f %12.3f\n" a.Span.agg_name a.Span.agg_calls
+          (Clock.ns_to_ms a.Span.agg_total_ns)
+          (Clock.ns_to_ms a.Span.agg_self_ns)
+          (a.Span.agg_p50_ns /. 1e6) (a.Span.agg_p99_ns /. 1e6))
+      spans;
+    if Span.dropped () > 0 then
+      p "(%d span events dropped past the %d-event buffer)\n" (Span.dropped ()) Span.capacity
+  end;
+  let counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) in
+  if counters <> [] then begin
+    p "\ncounters (always on)\n";
+    List.iter (fun (name, v) -> p "  %-34s %12d\n" name v) counters
+  end;
+  let histograms =
+    List.filter (fun h -> h.Histogram.h_count > 0) (Histogram.snapshot ())
+  in
+  if histograms <> [] then begin
+    p "\nhistograms (always on)\n";
+    List.iter
+      (fun h ->
+        p "  %-34s count %-8d mean %-10.1f p50 %-10.1f p99 %-10.1f\n" h.Histogram.h_name
+          h.Histogram.h_count
+          (if h.Histogram.h_count = 0 then 0.0 else h.Histogram.h_sum /. float_of_int h.Histogram.h_count)
+          h.Histogram.h_p50 h.Histogram.h_p99)
+      histograms
+  end;
+  flush out
+
+let chrome_trace_string () =
+  let epoch = Span.epoch_ns () in
+  let us_of ns = Int64.to_float (Int64.sub ns epoch) /. 1e3 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf s
+  in
+  let last_end = ref 0.0 in
+  List.iter
+    (fun (e : Span.event) ->
+      let ts = us_of e.Span.ev_start_ns in
+      let dur = Int64.to_float e.Span.ev_dur_ns /. 1e3 in
+      if ts +. dur > !last_end then last_end := ts +. dur;
+      emit
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
+           (jstr e.Span.ev_name) ts dur (jattrs e.Span.ev_attrs)))
+    (Span.events ());
+  let counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) in
+  if counters <> [] then
+    emit
+      (Printf.sprintf "{\"name\":\"counters\",\"ph\":\"I\",\"ts\":%.3f,\"s\":\"g\",\"pid\":1,\"tid\":1,\"args\":{%s}}"
+         !last_end
+         (String.concat ","
+            (List.map (fun (name, v) -> jstr name ^ ":" ^ string_of_int v) counters)));
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let jsonl_string () =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  List.iter
+    (fun (e : Span.event) ->
+      line
+        (Printf.sprintf "{\"type\":\"span\",\"name\":%s,\"start_ns\":%Ld,\"dur_ns\":%Ld,\"depth\":%d,\"attrs\":%s}"
+           (jstr e.Span.ev_name) e.Span.ev_start_ns e.Span.ev_dur_ns e.Span.ev_depth
+           (jattrs e.Span.ev_attrs)))
+    (Span.events ());
+  if Span.dropped () > 0 then
+    line (Printf.sprintf "{\"type\":\"dropped_spans\",\"count\":%d}" (Span.dropped ()));
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then line (Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"value\":%d}" (jstr name) v))
+    (Counter.snapshot ());
+  List.iter
+    (fun h ->
+      if h.Histogram.h_count > 0 then
+        line
+          (Printf.sprintf
+             "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p99\":%s}"
+             (jstr h.Histogram.h_name) h.Histogram.h_count (jfloat h.Histogram.h_sum)
+             (jfloat h.Histogram.h_min) (jfloat h.Histogram.h_max) (jfloat h.Histogram.h_p50)
+             (jfloat h.Histogram.h_p99)))
+    (Histogram.snapshot ());
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_chrome_trace path = write_file path (chrome_trace_string ())
+let write_jsonl path = write_file path (jsonl_string ())
+
+let reset_all () =
+  Counter.reset_all ();
+  Histogram.reset_all ();
+  Span.reset ()

@@ -1,0 +1,30 @@
+(** Renderers for the collected telemetry.
+
+    Three formats, one collection pass:
+    - {!summary_table}: ASCII roll-up for terminals (the `--metrics`
+      flag and `repro profile`);
+    - {!write_chrome_trace}: Chrome [trace_event] JSON, loadable
+      directly in [chrome://tracing] / Perfetto (`--trace FILE`);
+    - {!write_jsonl}: one JSON object per line — spans first, then
+      counters and histograms (`--trace-jsonl FILE`). *)
+
+val summary_table : ?out:out_channel -> unit -> unit
+(** Span aggregates (calls, total/self time, p50/p99) sorted by total
+    time, followed by the non-zero counters and non-empty histograms.
+    Prints to [stdout] by default. *)
+
+val chrome_trace_string : unit -> string
+(** The trace as a Chrome [trace_event] JSON object: one complete
+    ("ph":"X") event per span, timestamps in microseconds relative to
+    the trace epoch, counters attached as a final instant event. *)
+
+val write_chrome_trace : string -> unit
+(** Write {!chrome_trace_string} to the given path. *)
+
+val jsonl_string : unit -> string
+
+val write_jsonl : string -> unit
+
+val reset_all : unit -> unit
+(** Zero counters and histograms and drop all span state — the
+    process-global registry's reset, used between runs and by tests. *)

@@ -1,0 +1,54 @@
+(** Monotonic-clock spans over the instrumented kernels.
+
+    A span is one timed, named region of execution.  Spans nest: each
+    completion is attributed to its per-name aggregate (call count,
+    total time, self time = total minus enclosed child spans, duration
+    quantiles) and appended to the per-run event buffer that the
+    {!Export} module renders as a Chrome trace or JSONL stream.
+
+    Spans only record while {!Control.enabled} is set; disabled, a
+    span is one branch plus the closure the caller already built, so
+    the golden-path numerics and bench figures are unchanged. *)
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span.  The span is closed (and
+    recorded) even if [f] raises.  [attrs] are free-form key/value
+    annotations carried into the exporters ([args] in Chrome traces). *)
+
+type event = {
+  ev_name : string;
+  ev_attrs : (string * string) list;
+  ev_start_ns : int64;  (** absolute {!Clock} timestamp *)
+  ev_dur_ns : int64;
+  ev_depth : int;       (** nesting depth at entry, 0 = root *)
+}
+
+type aggregate = {
+  agg_name : string;
+  agg_calls : int;
+  agg_total_ns : int64;
+  agg_self_ns : int64;  (** total minus time in enclosed spans *)
+  agg_p50_ns : float;
+  agg_p99_ns : float;
+}
+
+val aggregates : unit -> aggregate list
+(** Per-name roll-up of every completed span, sorted by total time
+    (descending), name as tiebreak. *)
+
+val events : unit -> event list
+(** Completed spans in completion order (a child precedes its
+    parent).  Bounded: past {!capacity} events, new completions are
+    dropped and counted instead. *)
+
+val epoch_ns : unit -> int64
+(** Start timestamp of the earliest recorded span (the trace origin);
+    [now_ns] if nothing was recorded yet. *)
+
+val capacity : int
+
+val dropped : unit -> int
+
+val reset : unit -> unit
+(** Drop aggregates, events, epoch and the dropped count.  Must not be
+    called from inside an active span. *)

@@ -1,0 +1,386 @@
+(* Tests for the telemetry subsystem: span nesting and self-time
+   attribution, counter/histogram registry semantics, exporter
+   well-formedness (we parse what we emit), the disabled-mode no-op
+   guarantee, and counter determinism across same-seed runs. *)
+
+(* ------------------------------------------------------- mini JSON *)
+
+(* A tiny recursive-descent JSON reader, just enough to verify that the
+   Chrome-trace and JSONL exporters emit well-formed JSON without
+   pulling in a JSON dependency. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_literal lit value =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then begin
+      pos := !pos + String.length lit;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          (try Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xFF))
+           with _ -> fail "bad \\u escape");
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> parse_literal "true" (Bool true)
+    | Some 'f' -> parse_literal "false" (Bool false)
+    | Some 'n' -> parse_literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ----------------------------------------------------------- spans *)
+
+(* Deterministic busy work so spans have a measurable, positive
+   duration without sleeping. *)
+let burn () =
+  let acc = ref 0.0 in
+  for i = 1 to 20_000 do
+    acc := !acc +. sin (float_of_int i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let find_agg name =
+  List.find_opt (fun a -> a.Telemetry.Span.agg_name = name) (Telemetry.Span.aggregates ())
+
+let test_span_nesting_self_time () =
+  Telemetry.Export.reset_all ();
+  Telemetry.Control.with_enabled true (fun () ->
+      Telemetry.Span.with_ ~name:"outer" (fun () ->
+          burn ();
+          Telemetry.Span.with_ ~name:"child" burn;
+          Telemetry.Span.with_ ~name:"child" burn));
+  let outer = Option.get (find_agg "outer") in
+  let child = Option.get (find_agg "child") in
+  Alcotest.(check int) "outer calls" 1 outer.Telemetry.Span.agg_calls;
+  Alcotest.(check int) "child calls" 2 child.Telemetry.Span.agg_calls;
+  let open Int64 in
+  if compare outer.Telemetry.Span.agg_total_ns child.Telemetry.Span.agg_total_ns < 0 then
+    Alcotest.fail "outer total must cover children";
+  if compare outer.Telemetry.Span.agg_self_ns 0L < 0 then Alcotest.fail "negative self time";
+  (* Self-time attribution: outer self = outer total minus the time in
+     its (only) children. *)
+  let expected_self = sub outer.Telemetry.Span.agg_total_ns child.Telemetry.Span.agg_total_ns in
+  Alcotest.(check int64) "outer self excludes children" expected_self
+    outer.Telemetry.Span.agg_self_ns;
+  (* Events: children complete first, depth tracks nesting. *)
+  (match Telemetry.Span.events () with
+  | [ e1; e2; e3 ] ->
+    Alcotest.(check string) "first completion" "child" e1.Telemetry.Span.ev_name;
+    Alcotest.(check int) "child depth" 1 e1.Telemetry.Span.ev_depth;
+    Alcotest.(check string) "last completion" "outer" e3.Telemetry.Span.ev_name;
+    Alcotest.(check int) "outer depth" 0 e3.Telemetry.Span.ev_depth;
+    Alcotest.(check int) "middle depth" 1 e2.Telemetry.Span.ev_depth
+  | events -> Alcotest.failf "expected 3 events, got %d" (List.length events));
+  Telemetry.Export.reset_all ()
+
+let test_span_exception_safe () =
+  Telemetry.Export.reset_all ();
+  Telemetry.Control.with_enabled true (fun () ->
+      match Telemetry.Span.with_ ~name:"boom" (fun () -> failwith "inner") with
+      | _ -> Alcotest.fail "expected the exception to propagate"
+      | exception Failure m -> Alcotest.(check string) "exception carried" "inner" m);
+  (match find_agg "boom" with
+  | Some a -> Alcotest.(check int) "raising span still recorded" 1 a.Telemetry.Span.agg_calls
+  | None -> Alcotest.fail "raising span lost");
+  Telemetry.Export.reset_all ()
+
+let test_span_disabled_noop () =
+  Telemetry.Export.reset_all ();
+  Telemetry.Control.set_enabled false;
+  let r = Telemetry.Span.with_ ~name:"ghost" (fun () -> 17) in
+  Alcotest.(check int) "value passes through" 17 r;
+  Alcotest.(check int) "no events recorded" 0 (List.length (Telemetry.Span.events ()));
+  Alcotest.(check bool) "no aggregate recorded" true (find_agg "ghost" = None);
+  (* Exceptions still propagate untouched when disabled. *)
+  (match Telemetry.Span.with_ ~name:"ghost" (fun () -> raise Exit) with
+  | () -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  Alcotest.(check int) "still no events" 0 (List.length (Telemetry.Span.events ()))
+
+(* ---------------------------------------------- counters/histograms *)
+
+let test_counter_registry () =
+  Telemetry.Export.reset_all ();
+  let a = Telemetry.Counter.make "test.alpha" in
+  let a' = Telemetry.Counter.make "test.alpha" in
+  Telemetry.Counter.incr a;
+  Telemetry.Counter.add a' 4;
+  Alcotest.(check int) "make is idempotent (same cell)" 5 (Telemetry.Counter.value a);
+  (match Telemetry.Counter.find "test.alpha" with
+  | Some c -> Alcotest.(check int) "find sees the value" 5 (Telemetry.Counter.value c)
+  | None -> Alcotest.fail "registered counter not found");
+  Alcotest.(check bool) "find does not create" true (Telemetry.Counter.find "test.absent" = None);
+  let snap = Telemetry.Counter.snapshot () in
+  Alcotest.(check (option int)) "snapshot carries the value" (Some 5)
+    (List.assoc_opt "test.alpha" snap);
+  let sorted = List.sort (fun (x, _) (y, _) -> compare x y) snap in
+  Alcotest.(check bool) "snapshot is name-sorted" true (snap = sorted);
+  Telemetry.Counter.reset_all ();
+  Alcotest.(check int) "reset_all zeroes" 0 (Telemetry.Counter.value a);
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem_assoc "test.alpha" (Telemetry.Counter.snapshot ()))
+
+let test_histogram_observe () =
+  Telemetry.Export.reset_all ();
+  let h = Telemetry.Histogram.make "test.hist" in
+  List.iter (Telemetry.Histogram.observe h) [ 1.0; 2.0; 4.0; 8.0; 1000.0 ];
+  Alcotest.(check int) "count" 5 (Telemetry.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1015.0 (Telemetry.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Telemetry.Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 1000.0 (Telemetry.Histogram.max_value h);
+  let p50 = Telemetry.Histogram.quantile h 0.5 in
+  if p50 < 1.0 || p50 > 1000.0 then Alcotest.failf "p50 out of [min,max]: %g" p50;
+  (* Log-bucket quantile error is bounded by the 2^(1/4) bucket ratio:
+     the true median is 4. *)
+  if p50 < 3.0 || p50 > 5.5 then Alcotest.failf "p50 far from true median 4: %g" p50;
+  (* A NaN observation is counted but cannot poison the quantiles. *)
+  Telemetry.Histogram.observe h Float.nan;
+  Alcotest.(check int) "nan counted" 6 (Telemetry.Histogram.count h);
+  let p99 = Telemetry.Histogram.quantile h 0.99 in
+  if Float.is_nan p99 then Alcotest.fail "nan leaked into quantile";
+  Telemetry.Histogram.reset_all ();
+  Alcotest.(check int) "reset_all empties" 0 (Telemetry.Histogram.count h)
+
+(* -------------------------------------------------------- exporters *)
+
+let populate_sample_telemetry () =
+  Telemetry.Export.reset_all ();
+  let c = Telemetry.Counter.make "test.export_counter" in
+  Telemetry.Counter.add c 3;
+  let h = Telemetry.Histogram.make "test.export_hist" in
+  Telemetry.Histogram.observe h 42.0;
+  Telemetry.Control.with_enabled true (fun () ->
+      Telemetry.Span.with_ ~name:"export outer \"quoted\"" (fun () ->
+          burn ();
+          Telemetry.Span.with_ ~name:"export child" ~attrs:[ ("k", "v\nw") ] burn))
+
+let test_chrome_trace_well_formed () =
+  populate_sample_telemetry ();
+  let parsed = parse_json (Telemetry.Export.chrome_trace_string ()) in
+  (match member "displayTimeUnit" parsed with
+  | Some (Str "ms") -> ()
+  | _ -> Alcotest.fail "displayTimeUnit missing");
+  let events =
+    match member "traceEvents" parsed with
+    | Some (Arr events) -> events
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  (* 2 span events + the final instant event carrying the counters. *)
+  Alcotest.(check int) "event count" 3 (List.length events);
+  let phases =
+    List.map
+      (fun e -> match member "ph" e with Some (Str p) -> p | _ -> Alcotest.fail "ph missing")
+      events
+  in
+  Alcotest.(check (list string)) "phases" [ "X"; "X"; "I" ] phases;
+  List.iter
+    (fun e ->
+      match (member "ph" e, member "ts" e, member "name" e) with
+      | Some (Str "X"), Some (Num ts), Some (Str _) ->
+        if ts < 0.0 then Alcotest.fail "negative ts";
+        (match member "dur" e with
+        | Some (Num d) when d >= 0.0 -> ()
+        | _ -> Alcotest.fail "X event without dur")
+      | Some (Str "I"), Some (Num _), Some (Str _) -> ()
+      | _ -> Alcotest.fail "malformed event")
+    events;
+  (* The escaped span name survives the round trip. *)
+  let names =
+    List.filter_map (fun e -> match member "name" e with Some (Str s) -> Some s | _ -> None) events
+  in
+  Alcotest.(check bool) "quoted name round-trips" true
+    (List.mem "export outer \"quoted\"" names);
+  Telemetry.Export.reset_all ()
+
+let test_jsonl_well_formed () =
+  populate_sample_telemetry ();
+  let lines =
+    String.split_on_char '\n' (String.trim (Telemetry.Export.jsonl_string ()))
+  in
+  Alcotest.(check bool) "has lines" true (List.length lines >= 4);
+  let typed =
+    List.map
+      (fun line ->
+        let v = parse_json line in
+        match member "type" v with
+        | Some (Str t) -> (t, v)
+        | _ -> Alcotest.failf "line without type: %s" line)
+      lines
+  in
+  let spans = List.filter (fun (t, _) -> t = "span") typed in
+  Alcotest.(check int) "span lines" 2 (List.length spans);
+  Alcotest.(check bool) "counter line present" true
+    (List.exists
+       (fun (t, v) ->
+         t = "counter" && member "name" v = Some (Str "test.export_counter")
+         && member "value" v = Some (Num 3.0))
+       typed);
+  Alcotest.(check bool) "histogram line present" true
+    (List.exists
+       (fun (t, v) -> t = "histogram" && member "name" v = Some (Str "test.export_hist"))
+       typed);
+  (* The newline embedded in an attr value must be escaped, or it would
+     have split the line and failed parsing above. *)
+  Alcotest.(check bool) "attr newline escaped" true
+    (List.exists
+       (fun (_, v) ->
+         match member "attrs" v with Some (Obj [ ("k", Str "v\nw") ]) -> true | _ -> false)
+       (List.filter (fun (t, _) -> t = "span") typed));
+  Telemetry.Export.reset_all ()
+
+(* ------------------------------------------------------ determinism *)
+
+(* The always-on counters must be a pure function of the workload and
+   seed: two identical runs leave identical snapshots.  This is what
+   makes the security table's oracle-query column reproducible. *)
+let test_counter_determinism () =
+  let workload () =
+    Telemetry.Export.reset_all ();
+    let chip = Circuit.Process.fabricate ~seed:4242 () in
+    let rx = Rfchain.Receiver.create chip Rfchain.Standards.max_frequency in
+    let bench = Metrics.Measure.create rx in
+    ignore (Metrics.Measure.snr_mod_db bench Rfchain.Config.nominal);
+    ignore (Metrics.Measure.sfdr_db bench Rfchain.Config.nominal);
+    Telemetry.Counter.snapshot ()
+  in
+  let first = workload () in
+  let second = workload () in
+  Alcotest.(check (list (pair string int))) "same-seed runs leave identical counters" first
+    second;
+  Alcotest.(check bool) "workload actually counted something" true
+    (List.exists (fun (_, v) -> v > 0) first);
+  Telemetry.Export.reset_all ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting and self time" `Quick test_span_nesting_self_time;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "disabled mode is a no-op" `Quick test_span_disabled_noop;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counter make/find/snapshot/reset" `Quick test_counter_registry;
+          Alcotest.test_case "histogram observe/quantile/reset" `Quick test_histogram_observe;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace is valid JSON" `Quick test_chrome_trace_well_formed;
+          Alcotest.test_case "jsonl stream is valid JSON" `Quick test_jsonl_well_formed;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same-seed counter snapshots" `Quick test_counter_determinism ] );
+    ]
