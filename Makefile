@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke profile-smoke telemetry-smoke ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke ci clean
 
 all: build
 
@@ -40,7 +40,17 @@ telemetry-smoke:
 	grep -q '"traceEvents"' fig8.trace.json
 	grep -q '"ph":"X"' fig8.trace.json
 
-ci: build test faults-smoke profile-smoke telemetry-smoke
+# The evaluation engine must not perturb results: the same figure run
+# on the Domains backend (and with the cache disabled) must be
+# byte-identical to the sequential cached run.
+engine-smoke:
+	dune exec bin/repro.exe -- fig7 --fast --seed 42 --standard bluetooth --jobs 1 > /tmp/fig7-jobs1.out
+	dune exec bin/repro.exe -- fig7 --fast --seed 42 --standard bluetooth --jobs 2 > /tmp/fig7-jobs2.out
+	cmp /tmp/fig7-jobs1.out /tmp/fig7-jobs2.out
+	dune exec bin/repro.exe -- fig7 --fast --seed 42 --standard bluetooth --jobs 4 --no-cache > /tmp/fig7-jobs4.out
+	cmp /tmp/fig7-jobs1.out /tmp/fig7-jobs4.out
+
+ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke
 
 clean:
 	dune clean

@@ -124,6 +124,43 @@ let afe_fixture = lazy (Afe.Afe_chain.create (Circuit.Process.fabricate ~seed:90
 
 let bench_afe_measure () = ignore (Afe.Afe_chain.measure (Lazy.force afe_fixture) Afe.Afe_config.nominal)
 
+(* ENGINE kernels: the evaluation service's own costs.  Hit vs miss
+   bounds what the cache buys per evaluation; the batch kernels time
+   the same 8-key batch on the sequential backend and on 2- and
+   4-lane domain pools (caching off, so every iteration re-simulates —
+   this measures throughput, not cache warmth). *)
+let engine_cached = lazy (Engine.Service.create ~jobs:1 ~cache:true ())
+let engine_uncached = lazy (Engine.Service.create ~jobs:1 ~cache:false ())
+let engine_pool2 = lazy (Engine.Service.create ~jobs:2 ~cache:false ())
+let engine_pool4 = lazy (Engine.Service.create ~jobs:4 ~cache:false ())
+
+let engine_request =
+  lazy
+    (let c = Lazy.force ctx in
+     Engine.Request.make
+       ~die:(Engine.Request.die_of_receiver c.Experiments.Context.rx)
+       ~standard:c.Experiments.Context.standard ~config:c.Experiments.Context.golden
+       Engine.Request.Snr_mod)
+
+let engine_batch =
+  lazy
+    (let c = Lazy.force ctx in
+     let die = Engine.Request.die_of_receiver c.Experiments.Context.rx in
+     let golden = Rfchain.Config.to_bits c.Experiments.Context.golden in
+     List.init 8 (fun bit ->
+         Engine.Request.make ~die ~standard:c.Experiments.Context.standard
+           ~config:(Rfchain.Config.of_bits (Int64.logxor golden (Int64.shift_left 1L bit)))
+           Engine.Request.Snr_mod))
+
+let bench_engine_hit () =
+  ignore (Engine.Service.eval ~engine:(Lazy.force engine_cached) (Lazy.force engine_request))
+
+let bench_engine_miss () =
+  ignore (Engine.Service.eval ~engine:(Lazy.force engine_uncached) (Lazy.force engine_request))
+
+let bench_engine_batch engine () =
+  ignore (Engine.Service.eval_batch ~engine:(Lazy.force engine) (Lazy.force engine_batch))
+
 (* TELEMETRY kernels: the instrumentation's own cost.  The disabled
    span is the price every instrumented call site pays on a plain run
    (the overhead policy says near-zero); counter increments are
@@ -149,6 +186,11 @@ let tests =
     Test.make ~name:"onchip:alu-evaluation" (Staged.stage bench_onchip_alu);
     Test.make ~name:"faults:campaign-cell" (Staged.stage bench_faults_cell);
     Test.make ~name:"generality:afe-measure" (Staged.stage bench_afe_measure);
+    Test.make ~name:"engine:cache-hit" (Staged.stage bench_engine_hit);
+    Test.make ~name:"engine:cache-miss" (Staged.stage bench_engine_miss);
+    Test.make ~name:"engine:batch8-1domain" (Staged.stage (bench_engine_batch engine_uncached));
+    Test.make ~name:"engine:batch8-2domains" (Staged.stage (bench_engine_batch engine_pool2));
+    Test.make ~name:"engine:batch8-4domains" (Staged.stage (bench_engine_batch engine_pool4));
     Test.make ~name:"telemetry:span-disabled" (Staged.stage bench_span_disabled);
     Test.make ~name:"telemetry:counter-incr" (Staged.stage bench_counter_incr);
   ]

@@ -55,6 +55,38 @@ let telemetry_term =
   in
   Term.(const setup $ metrics_arg $ trace_arg $ trace_jsonl_arg)
 
+(* Engine plumbing shared by every subcommand: `--jobs N` selects the
+   multicore backend (N >= 2 hands batched evaluations to a fixed pool
+   of N-1 worker domains plus the caller; results are byte-identical to
+   `--jobs 1`), and `--no-cache` disables the content-addressed result
+   cache (every evaluation re-runs the simulator). *)
+let engine_term =
+  let jobs_arg =
+    let doc =
+      "Worker domains for batched evaluations (1 = sequential; output is identical either way)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the evaluation result cache (re-simulate every request)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let setup jobs no_cache =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
+    Engine.Service.configure ~jobs ~cache:(not no_cache) ()
+  in
+  Term.(const setup $ jobs_arg $ no_cache_arg)
+
+(* One combined setup hook so subcommand signatures stay `run ()`. *)
+let setup_term = Term.(const (fun () () -> ()) $ telemetry_term $ engine_term)
+
+let fast_arg =
+  let doc = "Fast mode: shorter captures and a single-pass calibration." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
 let find_standard_or_exit name =
   match Rfchain.Standards.find_opt name with
   | Some standard -> standard
@@ -63,10 +95,10 @@ let find_standard_or_exit name =
       (String.concat ", " Rfchain.Standards.names);
     exit 2
 
-let context ~seed ~standard =
+let context ~fast ~seed ~standard =
   let standard = find_standard_or_exit standard in
   Printf.printf "calibrating die %d for %s ...\n%!" seed standard.Rfchain.Standards.name;
-  let ctx = Experiments.Context.create ~seed ~standard () in
+  let ctx = Experiments.Context.create ~seed ~standard ~fast () in
   Printf.printf "calibrated: SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB (%d trials)\n\n%!"
     ctx.Experiments.Context.calibration.Calibration.Calibrate.snr_mod_db
     ctx.Experiments.Context.calibration.Calibration.Calibrate.snr_rx_db
@@ -75,46 +107,47 @@ let context ~seed ~standard =
   ctx
 
 let cmd_of name doc run =
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ telemetry_term $ seed_arg $ standard_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ setup_term $ fast_arg $ seed_arg $ standard_arg)
 
-let fig7_9 () seed standard keys =
-  let ctx = context ~seed ~standard in
+let fig7_9 () fast seed standard keys =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run ~n_invalid:keys ctx)
 
-let fig8 () seed standard =
-  let ctx = context ~seed ~standard in
+let fig8 () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Fig8.print (Experiments.Fig8.run ctx)
 
-let fig10 () seed standard =
-  let ctx = context ~seed ~standard in
+let fig10 () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Fig10.print (Experiments.Fig10.run ctx)
 
-let fig11 () seed standard =
-  let ctx = context ~seed ~standard in
+let fig11 () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Fig11.print ctx (Experiments.Fig11.run ctx)
 
-let fig12 () seed standard =
-  let ctx = context ~seed ~standard in
+let fig12 () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Fig12.print ctx (Experiments.Fig12.run ctx)
 
-let security () seed standard budget =
-  let ctx = context ~seed ~standard in
+let security () fast seed standard budget =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Security_table.print (Experiments.Security_table.run ~budget ctx)
 
-let compare () seed standard =
-  let ctx = context ~seed ~standard in
+let compare () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Compare_table.print (Experiments.Compare_table.run ctx)
 
-let ablations () seed standard =
-  let ctx = context ~seed ~standard in
+let ablations () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Ablations.print ctx (Experiments.Ablations.run ctx)
 
-let calibrate () seed standard =
-  let ctx = context ~seed ~standard in
+let calibrate () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   List.iter print_endline ctx.Experiments.Context.calibration.Calibration.Calibrate.log;
   Format.printf "%a@." Rfchain.Config.pp ctx.Experiments.Context.golden
 
-let lot () seed standard =
+let lot () _fast seed standard =
   let standard_t = find_standard_or_exit standard in
   Printf.printf "calibrating an 8-die lot (seed base %d) ...\n%!" seed;
   Experiments.Lot_study.print (Experiments.Lot_study.run ~seed_base:seed standard_t)
@@ -130,27 +163,27 @@ let faults () seed standard dies json =
   | Ok campaign ->
     if json then Faults.Report.print_json campaign else Faults.Report.print campaign
 
-let onchip () seed standard =
-  let ctx = context ~seed ~standard in
+let onchip () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Onchip_lock.print ctx (Experiments.Onchip_lock.run ctx)
 
-let aging () seed standard =
-  let ctx = context ~seed ~standard in
+let aging () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   let t = Experiments.Aging_study.run ctx in
   Experiments.Aging_study.print t;
   List.iter
     (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
     (Experiments.Aging_study.checks ctx t)
 
-let avalanche () seed standard =
-  let ctx = context ~seed ~standard in
+let avalanche () fast seed standard =
+  let ctx = context ~fast ~seed ~standard in
   let t = Experiments.Avalanche.run ctx in
   Experiments.Avalanche.print t;
   List.iter
     (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
     (Experiments.Avalanche.checks ctx t)
 
-let generality () _seed _standard =
+let generality () _fast _seed _standard =
   Experiments.Generality.print (Experiments.Generality.run ())
 
 (* A bounded, representative workload under forced telemetry: one fast
@@ -158,7 +191,7 @@ let generality () _seed _standard =
    each bench measurement, and a small brute-force attack against a
    re-fab die.  Useful as a quick profiling smoke test — it touches
    every instrumented layer in a few seconds. *)
-let profile () seed standard =
+let profile () _fast seed standard =
   Telemetry.Control.set_enabled true;
   let standard = find_standard_or_exit standard in
   Printf.printf "profiling a bounded workload (die %d, %s) ...\n%!" seed
@@ -186,8 +219,8 @@ let profile () seed standard =
   print_newline ();
   Telemetry.Export.summary_table ()
 
-let all () seed standard keys budget =
-  let ctx = context ~seed ~standard in
+let all () fast seed standard keys budget =
+  let ctx = context ~fast ~seed ~standard in
   Experiments.Fig7_fig9.print (Experiments.Fig7_fig9.run ~n_invalid:keys ctx);
   print_newline ();
   Experiments.Fig8.print (Experiments.Fig8.run ctx);
@@ -226,17 +259,17 @@ let commands =
   [
     Cmd.v
       (Cmd.info "fig7" ~doc:"SNR per key at the modulator output (also prints Fig. 9 data)")
-      Term.(const fig7_9 $ telemetry_term $ seed_arg $ standard_arg $ keys_arg);
+      Term.(const fig7_9 $ setup_term $ fast_arg $ seed_arg $ standard_arg $ keys_arg);
     Cmd.v
       (Cmd.info "fig9" ~doc:"SNR per key at the receiver output (same run as fig7)")
-      Term.(const fig7_9 $ telemetry_term $ seed_arg $ standard_arg $ keys_arg);
+      Term.(const fig7_9 $ setup_term $ fast_arg $ seed_arg $ standard_arg $ keys_arg);
     cmd_of "fig8" "Transient modulator output, correct vs deceptive key" fig8;
     cmd_of "fig10" "PSD at the modulator output, correct vs deceptive key" fig10;
     cmd_of "fig11" "SNR vs input power over the VGLNA segments" fig11;
     cmd_of "fig12" "Two-tone SFDR, correct vs deceptive key" fig12;
     Cmd.v
       (Cmd.info "security" ~doc:"Attack-cost table and empirical attacks (Section VI-B)")
-      Term.(const security $ telemetry_term $ seed_arg $ standard_arg $ budget_arg);
+      Term.(const security $ setup_term $ fast_arg $ seed_arg $ standard_arg $ budget_arg);
     cmd_of "compare" "Comparison with prior locking techniques (Section II)" compare;
     cmd_of "ablations" "Design-choice ablations (slicing, process variation)" ablations;
     cmd_of "calibrate" "Run the 14-step calibration and print the secret key" calibrate;
@@ -255,7 +288,7 @@ let commands =
        (Cmd.info "faults"
           ~doc:"Fault-injection stress campaign: lock margins, bit-corruption cliff, degraded \
                 calibration")
-       Term.(const faults $ telemetry_term $ seed_arg $ standard_arg $ dies_arg $ json_arg));
+       Term.(const faults $ setup_term $ seed_arg $ standard_arg $ dies_arg $ json_arg));
     cmd_of "avalanche" "SNR collapse vs key Hamming distance; per-bit key strength" avalanche;
     cmd_of "generality" "Second case study: fabric locking on a 24-bit baseband AFE" generality;
     cmd_of "profile"
@@ -263,7 +296,7 @@ let commands =
       profile;
     Cmd.v
       (Cmd.info "all" ~doc:"Every figure and table in sequence")
-      Term.(const all $ telemetry_term $ seed_arg $ standard_arg $ keys_arg $ budget_arg);
+      Term.(const all $ setup_term $ fast_arg $ seed_arg $ standard_arg $ keys_arg $ budget_arg);
   ]
 
 let () =

@@ -1,16 +1,16 @@
 type t = {
   standard : Rfchain.Standards.t;
-  rx : Rfchain.Receiver.t;
+  die : Engine.Request.die;
   key : Core.Key.t;  (* hidden inside the tamper-proof store *)
 }
 
 let deploy standard ~chip_seed ~key =
-  let chip = Circuit.Process.fabricate ~seed:chip_seed () in
-  { standard; rx = Rfchain.Receiver.create chip standard; key }
+  { standard; die = Engine.Request.die_of_seed chip_seed; key }
 
 let reference_performance t =
-  let bench = Metrics.Measure.create t.rx in
-  Metrics.Measure.full bench (Core.Key.config t.key)
+  Engine.Service.eval
+    (Engine.Request.make ~die:t.die ~standard:t.standard ~config:(Core.Key.config t.key)
+       Engine.Request.Full)
 
 let standard t = t.standard
 
@@ -22,56 +22,54 @@ let error_to_string = function
 
 type refab = {
   refab_standard : Rfchain.Standards.t;
-  bench : Metrics.Measure.t;
-  trial_limit : int option;
+  refab_die : Engine.Request.die;
+  account : Engine.Service.Account.t;
 }
 
 let refabricate ?trial_limit t ~attacker_seed =
-  let chip = Circuit.Process.fabricate ~seed:attacker_seed () in
   {
     refab_standard = t.standard;
-    bench = Metrics.Measure.create (Rfchain.Receiver.create chip t.standard);
-    trial_limit;
+    refab_die = Engine.Request.die_of_seed attacker_seed;
+    account = Engine.Service.Account.make ?limit:trial_limit ();
   }
 
-let trials_spent r = Metrics.Measure.trial_count r.bench
+let trials_spent r = Engine.Service.Account.spent r.account
 
 let queries_counter = Telemetry.Counter.make "oracle.queries"
 let denied_counter = Telemetry.Counter.make "oracle.denied"
 
-(* Everything an attack spends ends up on a bench (Metrics.Measure) or
-   in oscillation-mode probes (the tapped ablation's Osc_tune phase);
-   summing both odometers gives the attack's true measurement cost,
-   independent of its own accounting. *)
+(* Everything an attack spends ends up as bench trials charged to the
+   refab's engine account or in oscillation-mode probes (the tapped
+   ablation's Osc_tune phase); summing both odometers gives the
+   attack's true measurement cost, independent of its own accounting.
+   Cache hits replay their cost, so the sum is cache-warmth
+   invariant. *)
 let global_queries () =
   Metrics.Measure.global_trial_count () + Rfchain.Sdm.global_probe_count ()
 
-(* The watchdog: every probe first checks the bench's odometer against
-   the hard limit, so a runaway search loop cannot spend unbounded
-   measurement time no matter what its own budget accounting does. *)
-let guard r measure =
-  match r.trial_limit with
-  | Some limit when trials_spent r >= limit ->
+(* The watchdog now lives in the engine: every probe is a guarded eval
+   against the refab's account, so a runaway search loop cannot spend
+   unbounded measurement time no matter what its own budget accounting
+   does. *)
+let guard r metric config =
+  let req =
+    Engine.Request.make ~die:r.refab_die ~standard:r.refab_standard ~config metric
+  in
+  match Engine.Service.eval_guarded ~account:r.account req with
+  | Error (Engine.Service.Budget_exhausted { spent; limit }) ->
     Telemetry.Counter.incr denied_counter;
-    Error (Budget_exhausted { spent = trials_spent r; limit })
-  | _ ->
-    let before = trials_spent r in
-    let result = measure () in
-    Telemetry.Counter.add queries_counter (trials_spent r - before);
-    Ok result
+    Error (Budget_exhausted { spent; limit })
+  | Ok (measurement, cost) ->
+    Telemetry.Counter.add queries_counter cost;
+    Ok measurement
 
 (* The full check measures every specified performance (the attacker
    must satisfy all of them simultaneously — the paper's multi-objective
    difficulty), and uses the linearity-verified SNR so an
    injection-locked tank regenerating the test tone cannot fool it. *)
-let try_key r config =
-  guard r (fun () ->
-      {
-        Metrics.Spec.snr_mod_db = Metrics.Measure.snr_mod_verified_db r.bench config;
-        snr_rx_db = Metrics.Measure.snr_rx_db r.bench config;
-        sfdr_db = Some (Metrics.Measure.sfdr_db r.bench config);
-      })
+let try_key r config = guard r Engine.Request.Full_verified config
 
-let try_key_fast r config = guard r (fun () -> Metrics.Measure.snr_mod_db r.bench config)
+let try_key_fast r config =
+  Result.map (fun m -> m.Metrics.Spec.snr_mod_db) (guard r Engine.Request.Snr_mod config)
 
 let spec_distance r m = Metrics.Spec.spec_distance r.refab_standard m

@@ -71,12 +71,16 @@ let tapped_attack ?(seed = 0x7A) ~budget standard ~attacker_seed =
     | Error (Calibration.Osc_tune.Tank_silent { measurements; _ }) ->
       ([], measurements, Rfchain.Config.random rng)
   in
-  let bench = Metrics.Measure.create rx in
+  let die = Engine.Request.die_of_receiver rx in
   let best_snr = ref neg_infinity in
   let trials = ref osc_measurements in
   let objective config =
     incr trials;
-    let snr = Metrics.Measure.snr_mod_db bench config in
+    let m =
+      Engine.Service.eval
+        (Engine.Request.make ~die ~standard ~config Engine.Request.Snr_mod)
+    in
+    let snr = m.Metrics.Spec.snr_mod_db in
     if snr > !best_snr then best_snr := snr;
     snr
   in

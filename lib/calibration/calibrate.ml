@@ -88,28 +88,72 @@ let attempt_with ~passes ~refine_sfdr ~offsets rx =
     in
     say "steps 8-13: loop restored, delay code %d, VGLNA code %d, biases nominal"
       start.loop_delay start.vglna_gain;
-    (* Step 14: iterative refinement driven by measured SNR (and SFDR). *)
-    let bench = Metrics.Measure.create rx in
+    (* Step 14: iterative refinement driven by measured SNR (and SFDR),
+       routed through the evaluation engine: cached across retries and
+       batchable per probe ladder, with the bench-trial cost accrued on
+       a local account so the reported measurement count is independent
+       of cache warmth. *)
+    let die = Engine.Request.die_of_receiver rx in
     let standard = Rfchain.Receiver.standard rx in
+    let account = Engine.Service.Account.make () in
+    let eval metric config =
+      Engine.Service.eval ~account (Engine.Request.make ~die ~standard ~config metric)
+    in
+    let snr_of config = (eval Engine.Request.Snr_mod config).Metrics.Spec.snr_mod_db in
+    let sfdr_of config = Option.get (eval Engine.Request.Sfdr config).Metrics.Spec.sfdr_db in
+    (* SFDR contributes only its shortfall from spec plus a 2 dB
+       production margin; once comfortably in spec, SNR rules. *)
+    let score ~snr ~sfdr =
+      let target = standard.Rfchain.Standards.min_sfdr_db +. 2.0 in
+      snr -. (4.0 *. Float.max 0.0 (target -. sfdr))
+    in
     let objective config =
-      let snr = Metrics.Measure.snr_mod_db bench config in
-      if not refine_sfdr then snr
-      else begin
-        let sfdr = Metrics.Measure.sfdr_db bench config in
-        (* SFDR contributes only its shortfall from spec plus a 2 dB
-           production margin; once comfortably in spec, SNR rules. *)
-        let target = standard.Rfchain.Standards.min_sfdr_db +. 2.0 in
-        snr -. (4.0 *. Float.max 0.0 (target -. sfdr))
-      end
+      let snr = snr_of config in
+      if not refine_sfdr then snr else score ~snr ~sfdr:(sfdr_of config)
+    in
+    let objective_batch configs =
+      if not refine_sfdr then
+        List.map
+          (fun m -> m.Metrics.Spec.snr_mod_db)
+          (Engine.Service.eval_batch ~account
+             (List.map
+                (fun config ->
+                  Engine.Request.make ~die ~standard ~config Engine.Request.Snr_mod)
+                configs))
+      else
+        (* One SNR and one SFDR capture per candidate, submitted as a
+           single batch — the same trials the sequential objective
+           spends, in batch order instead of interleaved. *)
+        let reqs =
+          List.concat_map
+            (fun config ->
+              [
+                Engine.Request.make ~die ~standard ~config Engine.Request.Snr_mod;
+                Engine.Request.make ~die ~standard ~config Engine.Request.Sfdr;
+              ])
+            configs
+        in
+        let rec pair = function
+          | snr_m :: sfdr_m :: rest ->
+            score ~snr:snr_m.Metrics.Spec.snr_mod_db
+              ~sfdr:(Option.get sfdr_m.Metrics.Spec.sfdr_db)
+            :: pair rest
+          | [] -> []
+          | [ _ ] -> assert false
+        in
+        pair (Engine.Service.eval_batch ~account reqs)
     in
     let outcome =
       Telemetry.Span.with_ ~name:"calibrate.step14" (fun () ->
-          Coordinate_search.maximize ~objective ~fields:step14_fields ~start ~offsets ~passes ())
+          Coordinate_search.maximize ~objective ~objective_batch ~fields:step14_fields ~start
+            ~offsets ~passes ())
     in
     let key = outcome.Coordinate_search.best in
-    let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
-    let snr_rx_db = Metrics.Measure.snr_rx_db bench key in
-    let sfdr_db = Metrics.Measure.sfdr_db bench key in
+    let snr_mod_db = snr_of key in
+    let snr_rx_db =
+      (eval (Engine.Request.Snr_rx { n_fft = 2048 }) key).Metrics.Spec.snr_rx_db
+    in
+    let sfdr_db = sfdr_of key in
     say "step 14: %d trials; SNR(mod) %.1f dB, SNR(rx) %.1f dB, SFDR %.1f dB"
       outcome.Coordinate_search.evaluations snr_mod_db snr_rx_db sfdr_db;
     let report =
@@ -120,7 +164,7 @@ let attempt_with ~passes ~refine_sfdr ~offsets rx =
         sfdr_db;
         freq_error_hz = osc.freq_error_hz;
         oscillation_measurements = osc.measurements;
-        snr_measurements = Metrics.Measure.trial_count bench;
+        snr_measurements = Engine.Service.Account.spent account;
         log = List.rev !log;
       }
     in

@@ -5,8 +5,8 @@ type outcome = {
   exhausted_budget : bool;
 }
 
-let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]) ?(passes = 2)
-    ?budget () =
+let maximize ~objective ?objective_batch ~fields ~start
+    ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 ]) ?(passes = 2) ?budget () =
   let evaluations = ref 0 in
   let exhausted = ref false in
   let within_budget () =
@@ -24,20 +24,47 @@ let maximize ~objective ~fields ~start ?(offsets = [ 1; -1; 2; -2; 4; -4; 8; -8 
     objective config
   in
   let best = ref start and best_score = ref (eval start) in
+  let accept candidate score =
+    if score > !best_score then begin
+      best := candidate;
+      best_score := score
+    end
+  in
   let probe_field name =
     let width = Rfchain.Config.field_width name in
     let current = Rfchain.Config.field !best name in
-    let try_code code =
-      if code >= 0 && code < 1 lsl width && code <> current && within_budget () then begin
-        let candidate = Rfchain.Config.with_field !best name code in
-        let score = eval candidate in
-        if score > !best_score then begin
-          best := candidate;
-          best_score := score
+    match objective_batch with
+    | Some batch when budget = None ->
+      (* Batched probe: within one field every candidate is determined
+         up front — a sequential improvement only rewrites the field
+         being probed, so [with_field !best name code] is the same word
+         whether [!best] is the field-entry point or a mid-field
+         improvement.  Evaluating all candidates first and folding with
+         the same strict-> rule in offset order therefore reproduces
+         the sequential trajectory exactly (the scores are pure), while
+         letting the engine run the probes as one batch. *)
+      let codes =
+        List.filter_map
+          (fun off ->
+            let code = current + off in
+            if code >= 0 && code < 1 lsl width && code <> current then Some code else None)
+          offsets
+      in
+      let candidates = List.map (fun code -> Rfchain.Config.with_field !best name code) codes in
+      evaluations := !evaluations + List.length candidates;
+      let scores = batch candidates in
+      List.iter2 accept candidates scores
+    | _ ->
+      (* Sequential probe — also the only correct mode under a budget,
+         where every single evaluation is gated on the cap. *)
+      let try_code code =
+        if code >= 0 && code < 1 lsl width && code <> current && within_budget () then begin
+          let candidate = Rfchain.Config.with_field !best name code in
+          let score = eval candidate in
+          accept candidate score
         end
-      end
-    in
-    List.iter (fun off -> try_code (current + off)) offsets
+      in
+      List.iter (fun off -> try_code (current + off)) offsets
   in
   for _ = 1 to passes do
     if not !exhausted then List.iter probe_field fields

@@ -16,6 +16,7 @@ type outcome = {
 
 val maximize :
   objective:(Rfchain.Config.t -> float) ->
+  ?objective_batch:(Rfchain.Config.t list -> float list) ->
   fields:string list ->
   start:Rfchain.Config.t ->
   ?offsets:int list ->
@@ -29,4 +30,12 @@ val maximize :
     total objective evaluations — the watchdog for searches driven by a
     degraded or fault-injected die, where the objective may never
     improve; when it trips, the best point so far is still returned
-    with [exhausted_budget] set. *)
+    with [exhausted_budget] set.
+
+    [objective_batch], when given, must score a candidate list exactly
+    as mapping [objective] would; the search then submits each field's
+    probe ladder as one batch (e.g. to the evaluation engine's parallel
+    backend).  Because a within-field improvement only rewrites the
+    probed field, batching is trajectory-preserving: the result is
+    bit-identical to the sequential search.  Ignored when [budget] is
+    set — budget enforcement is per-evaluation. *)

@@ -72,3 +72,18 @@ let offset chip ~name ~sigma =
 let noise_stream chip ~name = Sigkit.Rng.split chip.rng_root ("noise:" ^ name)
 
 let variation_enabled chip = chip.sigma_scale > 0.0
+
+(* Canonical fingerprint of the die's behavioural identity: two chips
+   with equal fingerprints draw identical parameters for every name.
+   Every field that feeds a draw is folded in; floats are rendered with
+   [%h] (exact hex) so no two distinct values collide, and the offset
+   biases are sorted so construction order does not leak into the key.
+   The rng_root is excluded: it is a pure function of [seed]. *)
+let identity chip =
+  let biases =
+    List.sort compare chip.offset_bias
+    |> List.map (fun (name, bias) -> Printf.sprintf "%s=%h" name bias)
+    |> String.concat ","
+  in
+  Printf.sprintf "seed=%d;sigma=%h;age=%h;pvt=%h;bias=[%s]" chip.seed chip.sigma_scale
+    chip.age_hours chip.pvt_scale biases

@@ -53,3 +53,10 @@ val noise_stream : chip -> name:string -> Sigkit.Rng.t
 
 val variation_enabled : chip -> bool
 (** False when the chip was fabricated with [lot_sigma_scale = 0.]. *)
+
+val identity : chip -> string
+(** Canonical fingerprint of the die's behavioural identity: chips with
+    equal fingerprints draw identical parameters for every name (seed,
+    sigma scale, age, PVT drift and injected biases are all folded in,
+    floats rendered exactly).  Used by the evaluation engine as the
+    chip component of its result-cache key. *)

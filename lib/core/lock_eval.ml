@@ -10,20 +10,41 @@ type t = {
   invalid : key_result list;
 }
 
-let measure_key bench ~with_rx ~index config =
-  let snr_mod_db = Metrics.Measure.snr_mod_db bench config in
-  let snr_rx_db = if with_rx then Metrics.Measure.snr_rx_db bench config else nan in
-  { index; config; snr_mod_db; snr_rx_db }
-
 let evaluate ?(n_invalid = 100) ?(seed = 2020) ?(with_rx = true) rx ~correct () =
-  let bench = Metrics.Measure.create rx in
   let rng = Sigkit.Rng.create seed in
-  let correct_result = measure_key bench ~with_rx ~index:(-1) correct in
-  let invalid =
-    List.init n_invalid (fun index ->
-        measure_key bench ~with_rx ~index (Rfchain.Config.random rng))
+  let keys =
+    (-1, correct) :: List.init n_invalid (fun index -> (index, Rfchain.Config.random rng))
   in
-  { correct = correct_result; invalid }
+  (* The whole ensemble goes to the engine as one batch: every key
+     needs a modulator-tap SNR and (optionally) a receiver-tap SNR,
+     independent of the others, so the batch fans out across the
+     domains backend under --jobs while the reassembled results stay in
+     ensemble order. *)
+  let die = Engine.Request.die_of_receiver rx in
+  let standard = Rfchain.Receiver.standard rx in
+  let requests =
+    List.concat_map
+      (fun (_, config) ->
+        let mk metric = Engine.Request.make ~die ~standard ~config metric in
+        if with_rx then [ mk Engine.Request.Snr_mod; mk (Engine.Request.Snr_rx { n_fft = 2048 }) ]
+        else [ mk Engine.Request.Snr_mod ])
+      keys
+  in
+  let per_key = if with_rx then 2 else 1 in
+  let measurements = Array.of_list (Engine.Service.eval_batch requests) in
+  let results =
+    List.mapi
+      (fun i (index, config) ->
+        let snr_mod_db = measurements.(per_key * i).Metrics.Spec.snr_mod_db in
+        let snr_rx_db =
+          if with_rx then measurements.((per_key * i) + 1).Metrics.Spec.snr_rx_db else nan
+        in
+        { index; config; snr_mod_db; snr_rx_db })
+      keys
+  in
+  match results with
+  | correct_result :: invalid -> { correct = correct_result; invalid }
+  | [] -> assert false
 
 let best_invalid t =
   match t.invalid with

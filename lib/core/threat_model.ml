@@ -4,18 +4,20 @@ type outcome = {
   detail : string;
 }
 
+let request standard ~seed config =
+  Engine.Request.make ~die:(Engine.Request.die_of_seed seed) ~standard ~config
+    Engine.Request.Full
+
 let evaluate_config standard ~seed config =
-  let chip = Circuit.Process.fabricate ~seed () in
-  let rx = Rfchain.Receiver.create chip standard in
-  let bench = Metrics.Measure.create rx in
-  let m =
-    {
-      Metrics.Spec.snr_mod_db = Metrics.Measure.snr_mod_db bench config;
-      snr_rx_db = Metrics.Measure.snr_rx_db bench config;
-      sfdr_db = Some (Metrics.Measure.sfdr_db bench config);
-    }
-  in
+  let m = Engine.Service.eval (request standard ~seed config) in
   (Metrics.Spec.check standard m).Metrics.Spec.functional
+
+(* One engine batch for a whole (die, config) matrix — the lot-study
+   transfer matrix and the security table's transfer column. *)
+let evaluate_many standard points =
+  Engine.Service.eval_batch
+    (List.map (fun (seed, config) -> request standard ~seed config) points)
+  |> List.map (fun m -> (Metrics.Spec.check standard m).Metrics.Spec.functional)
 
 (* The paper's cloning claim: a clone is "good-for-nothing if the
    adversary does not know how the design can be programmed".  The

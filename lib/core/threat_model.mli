@@ -37,4 +37,9 @@ val remarking : Rfchain.Standards.t -> seed:int -> outcome
 
 val evaluate_config : Rfchain.Standards.t -> seed:int -> Rfchain.Config.t -> bool
 (** Whether a configuration meets the standard's spec on die [seed]
-    (helper shared by the scenarios; one SNR trial per call). *)
+    (helper shared by the scenarios; one full engine evaluation —
+    three bench trials — per call, cached across repeats). *)
+
+val evaluate_many : Rfchain.Standards.t -> (int * Rfchain.Config.t) list -> bool list
+(** {!evaluate_config} over a (die seed, config) list as one engine
+    batch (parallel under [--jobs]); results in input order. *)

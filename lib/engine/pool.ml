@@ -1,0 +1,125 @@
+(* Hand-rolled fixed worker pool over Domain/Mutex/Condition — no
+   dependencies beyond the stdlib, per the repo's no-new-deps rule.
+
+   The pool runs index-parallel jobs: [run t f n] evaluates [f i] for
+   every [i] in [0..n-1], claiming indices from a shared cursor under
+   the pool mutex.  The calling (main) domain participates as a lane,
+   so a pool built with [create (jobs - 1)] workers gives [jobs]
+   evaluation lanes total.  Determinism is the caller's contract: [f]
+   must write result [i] to slot [i] only, so claim order never shows
+   in the output. *)
+
+type t = {
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable next : int;
+  mutable total : int;
+  mutable completed : int;
+  mutable failure : exn option;
+  mutable generation : int;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+  workers : int;
+}
+
+(* Claim-and-run one index; caller holds the mutex on entry and exit. *)
+let step t f =
+  let i = t.next in
+  t.next <- t.next + 1;
+  Mutex.unlock t.m;
+  (try f i
+   with e ->
+     Mutex.lock t.m;
+     if t.failure = None then t.failure <- Some e;
+     Mutex.unlock t.m);
+  Mutex.lock t.m;
+  t.completed <- t.completed + 1;
+  if t.completed >= t.total then Condition.broadcast t.work_done
+
+let worker t () =
+  let last = ref 0 in
+  Mutex.lock t.m;
+  let running = ref true in
+  while !running do
+    while t.generation = !last && not t.shutdown do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.shutdown then running := false
+    else begin
+      last := t.generation;
+      let gen = t.generation in
+      let claiming = ref true in
+      while !claiming do
+        match t.job with
+        | Some f when t.generation = gen && t.next < t.total -> step t f
+        | _ -> claiming := false
+      done
+    end
+  done;
+  Mutex.unlock t.m
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.shutdown then Mutex.unlock t.m
+  else begin
+    t.shutdown <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let create workers =
+  if workers <= 0 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    {
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      next = 0;
+      total = 0;
+      completed = 0;
+      failure = None;
+      generation = 0;
+      shutdown = false;
+      domains = [];
+      workers;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  (* Idle workers block on [work_ready]; make sure process exit does
+     not hang waiting for them. *)
+  at_exit (fun () -> shutdown t);
+  t
+
+let workers t = t.workers
+
+let run t f n =
+  if n > 0 then begin
+    Mutex.lock t.m;
+    if t.shutdown then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.job <- Some f;
+    t.next <- 0;
+    t.total <- n;
+    t.completed <- 0;
+    t.failure <- None;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    (* The caller is a lane too. *)
+    while t.next < t.total do
+      step t f
+    done;
+    while t.completed < t.total do
+      Condition.wait t.work_done t.m
+    done;
+    t.job <- None;
+    let fail = t.failure in
+    Mutex.unlock t.m;
+    match fail with Some e -> raise e | None -> ()
+  end

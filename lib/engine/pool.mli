@@ -1,0 +1,22 @@
+(** Fixed pool of worker domains for index-parallel jobs.
+
+    Built on [Domain]/[Mutex]/[Condition] only.  [run t f n] evaluates
+    [f i] for every [i < n], with the calling domain participating as
+    one lane alongside the workers; it returns once all indices have
+    completed, re-raising the first exception any [f i] raised.  [f]
+    must confine its writes to per-index slots — that is what makes the
+    result independent of claim order. *)
+
+type t
+
+val create : int -> t
+(** [create workers] spawns that many worker domains (>= 1); they idle
+    on a condition variable between jobs and are joined at process
+    exit. *)
+
+val workers : t -> int
+
+val run : t -> (int -> unit) -> int -> unit
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent; the pool is unusable afterwards. *)

@@ -1,0 +1,203 @@
+type backend =
+  | Seq
+  | Domains of Pool.t
+
+type t = {
+  cache : Cache.t option;
+  backend : backend;
+  jobs : int;
+}
+
+let default_cache_capacity = 4096
+
+let create ?(jobs = 1) ?(cache = true) ?(cache_capacity = default_cache_capacity) () =
+  if jobs <= 0 then invalid_arg "Service.create: jobs must be positive";
+  let backend = if jobs = 1 then Seq else Domains (Pool.create (jobs - 1)) in
+  { cache = (if cache then Some (Cache.create ~capacity:cache_capacity) else None); backend; jobs }
+
+let jobs t = t.jobs
+let cache_enabled t = t.cache <> None
+
+let shutdown t = match t.backend with Seq -> () | Domains pool -> Pool.shutdown pool
+
+(* Process-global default engine, configured once by the CLI from
+   --jobs / --no-cache and used implicitly by every call site that does
+   not pass ?engine. *)
+let default_engine : t option ref = ref None
+
+let configure ?jobs ?cache ?cache_capacity () =
+  Option.iter shutdown !default_engine;
+  default_engine := Some (create ?jobs ?cache ?cache_capacity ())
+
+let default () =
+  match !default_engine with
+  | Some t -> t
+  | None ->
+    let t = create () in
+    default_engine := Some t;
+    t
+
+let resolve = function Some t -> t | None -> default ()
+
+let eval_counter = Telemetry.Counter.make "engine.evals"
+let batch_counter = Telemetry.Counter.make "engine.batches"
+let denied_counter = Telemetry.Counter.make "engine.denied"
+
+(* Same registered counter as Metrics.Measure's odometer (Counter.make
+   is idempotent by name): cache hits replay their trial cost here so
+   the global accounting is independent of cache warmth. *)
+let trials_counter = Telemetry.Counter.make "measure.trials"
+
+(* The cache and the pool are main-domain structures; an eval issued
+   from a worker domain (e.g. a calibration nested inside a
+   parallelised study) falls back to inline sequential compute. *)
+let main_domain = Domain.self ()
+let on_main () = Domain.self () = main_domain
+
+(* The actual simulate-and-measure, a pure function of the request.  A
+   fresh bench per request keeps the per-request trial cost observable
+   without racing on global counters; unrequested fields come back as
+   nan / None. *)
+let compute (req : Request.t) : Cache.value =
+  Telemetry.Counter.incr eval_counter;
+  let rx = Request.receiver req.die req.standard in
+  let bench = Metrics.Measure.create ~p_dbm:req.p_dbm rx in
+  let blank = { Metrics.Spec.snr_mod_db = nan; snr_rx_db = nan; sfdr_db = None } in
+  let measurement =
+    match req.metric with
+    | Request.Snr_mod -> { blank with snr_mod_db = Metrics.Measure.snr_mod_db bench req.config }
+    | Request.Snr_mod_verified ->
+      { blank with snr_mod_db = Metrics.Measure.snr_mod_verified_db bench req.config }
+    | Request.Snr_rx { n_fft } ->
+      { blank with snr_rx_db = Metrics.Measure.snr_rx_db ~n_fft bench req.config }
+    | Request.Snr_rx_at_power { n_fft; p_dbm; gain_code } ->
+      { blank with
+        snr_rx_db = Metrics.Measure.snr_rx_at_power_db ~n_fft bench req.config ~p_dbm ~gain_code
+      }
+    | Request.Sfdr -> { blank with sfdr_db = Some (Metrics.Measure.sfdr_db bench req.config) }
+    | Request.Full -> Metrics.Measure.full bench req.config
+    | Request.Full_verified ->
+      (* The oracle's try_key bundle: linearity-verified modulator SNR
+         so an injection-locked tank cannot fool the check, then both
+         remaining specified performances. *)
+      {
+        Metrics.Spec.snr_mod_db = Metrics.Measure.snr_mod_verified_db bench req.config;
+        snr_rx_db = Metrics.Measure.snr_rx_db bench req.config;
+        sfdr_db = Some (Metrics.Measure.sfdr_db bench req.config);
+      }
+  in
+  { Cache.measurement; trial_cost = Metrics.Measure.trial_count bench }
+
+module Account = struct
+  type t = {
+    mutable spent : int;
+    limit : int option;
+  }
+
+  let make ?limit () = { spent = 0; limit }
+  let spent a = a.spent
+  let limit a = a.limit
+  let charge a n = a.spent <- a.spent + n
+  let exhausted a = match a.limit with Some l -> a.spent >= l | None -> false
+end
+
+type denial = Budget_exhausted of { spent : int; limit : int }
+
+let eval_value t (req : Request.t) : Cache.value =
+  if not (on_main ()) then compute req
+  else
+    match t.cache, Request.cache_key req with
+    | Some cache, Some key -> (
+      match Cache.find cache key with
+      | Some value ->
+        (* Hit: no simulator step ran; replay the trial cost so the
+           odometer matches a cold run exactly. *)
+        Telemetry.Counter.add trials_counter value.Cache.trial_cost;
+        value
+      | None ->
+        let value = compute req in
+        Cache.add cache key value;
+        value)
+    | _ -> compute req
+
+let charge account (value : Cache.value) =
+  Option.iter (fun a -> Account.charge a value.Cache.trial_cost) account
+
+let eval ?engine ?account req =
+  let value = eval_value (resolve engine) req in
+  charge account value;
+  value.Cache.measurement
+
+let eval_guarded ?engine ~account req =
+  if Account.exhausted account then begin
+    Telemetry.Counter.incr denied_counter;
+    let limit = Option.value (Account.limit account) ~default:0 in
+    Error (Budget_exhausted { spent = Account.spent account; limit })
+  end
+  else begin
+    let value = eval_value (resolve engine) req in
+    Account.charge account value.Cache.trial_cost;
+    Ok (value.Cache.measurement, value.Cache.trial_cost)
+  end
+
+let eval_batch ?engine ?account reqs =
+  let t = resolve engine in
+  Telemetry.Counter.incr batch_counter;
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if not (on_main ()) then
+    List.map
+      (fun req ->
+        let value = compute req in
+        charge account value;
+        value.Cache.measurement)
+      reqs
+  else begin
+    let results : Cache.value option array = Array.make n None in
+    let keys = Array.map Request.cache_key arr in
+    (* Cache pass in request order (deterministic LRU traffic). *)
+    (match t.cache with
+    | None -> ()
+    | Some cache ->
+      Array.iteri
+        (fun i key ->
+          match key with
+          | None -> ()
+          | Some key -> (
+            match Cache.find cache key with
+            | Some value ->
+              Telemetry.Counter.add trials_counter value.Cache.trial_cost;
+              results.(i) <- Some value
+            | None -> ()))
+        keys);
+    let misses =
+      Array.of_list
+        (List.filter (fun i -> results.(i) = None) (List.init n (fun i -> i)))
+    in
+    let run_one j =
+      let i = misses.(j) in
+      results.(i) <- Some (compute arr.(i))
+    in
+    (match t.backend with
+    | Seq -> Array.iteri (fun j _ -> run_one j) misses
+    | Domains pool -> Pool.run pool run_one (Array.length misses));
+    (* Store pass in request order, after the barrier: cache state is a
+       pure function of the request sequence, never of claim order. *)
+    (match t.cache with
+    | None -> ()
+    | Some cache ->
+      Array.iter
+        (fun i ->
+          match keys.(i), results.(i) with
+          | Some key, Some value -> Cache.add cache key value
+          | _ -> ())
+        misses);
+    Array.to_list
+      (Array.map
+         (fun r ->
+           let value = Option.get r in
+           charge account value;
+           value.Cache.measurement)
+         results)
+  end

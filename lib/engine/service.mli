@@ -1,0 +1,71 @@
+(** The central evaluation service.
+
+    One simulate-and-measure entry point for every consumer —
+    calibration sweeps, oracle/refab attack trials, the figure and
+    table experiments, and the fault campaign.  Evaluation of a
+    {!Request.t} is a pure function, so the service can front it with a
+    content-addressed LRU cache and fan batches out across a fixed pool
+    of OCaml 5 domains while keeping same-seed output byte-identical to
+    the sequential backend:
+
+    - single [eval]s run inline on the calling domain;
+    - [eval_batch] looks the batch up in the cache in request order,
+      computes the misses (sequentially or on the pool, writing each
+      result into its own slot of an index-addressed array), then
+      stores them back in request order — so result order, cache state
+      and every trial odometer are independent of the backend;
+    - cache hits replay the original evaluation's trial cost into the
+      [measure.trials] odometer and any {!Account}, so printed query
+      accounting is independent of cache warmth. *)
+
+type t
+
+val create : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> t
+(** [jobs] evaluation lanes (default 1 = sequential backend; [n >= 2]
+    spawns [n - 1] worker domains and the caller participates);
+    [cache] (default true) fronts evaluation with an LRU of
+    [cache_capacity] (default 4096) results. *)
+
+val jobs : t -> int
+val cache_enabled : t -> bool
+
+val shutdown : t -> unit
+(** Join the worker pool (tests); also registered at process exit. *)
+
+val configure : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> unit
+(** Replace the process-global default engine — the CLI calls this once
+    from [--jobs] / [--no-cache] before running a workload. *)
+
+val default : unit -> t
+(** The process-global engine ([jobs = 1], cache on, until
+    {!configure} says otherwise). *)
+
+(** Trial accounting, engine-side: an account accumulates the actual
+    bench-trial cost of every evaluation charged to it, and optionally
+    enforces a hard limit (the oracle's watchdog). *)
+module Account : sig
+  type t
+
+  val make : ?limit:int -> unit -> t
+  val spent : t -> int
+  val limit : t -> int option
+  val charge : t -> int -> unit
+  val exhausted : t -> bool
+end
+
+type denial = Budget_exhausted of { spent : int; limit : int }
+
+val eval : ?engine:t -> ?account:Account.t -> Request.t -> Metrics.Spec.measurement
+(** Evaluate one request (cache-first, inline on the calling domain). *)
+
+val eval_batch :
+  ?engine:t -> ?account:Account.t -> Request.t list -> Metrics.Spec.measurement list
+(** Evaluate a batch; results come back in request order, bit-identical
+    across backends and cache states. *)
+
+val eval_guarded :
+  ?engine:t -> account:Account.t -> Request.t ->
+  (Metrics.Spec.measurement * int, denial) result
+(** The budget watchdog: refuse (and count [engine.denied]) once the
+    account is exhausted, otherwise evaluate and charge the actual
+    trial cost, returning it alongside the measurement. *)

@@ -36,22 +36,22 @@ let run (ctx : Context.t) =
   in
   (* Key transfer: calibrate die A, apply its key to die B — once on
      the real (varying) process, once on an ideal process. *)
+  let snr_on chip config =
+    (Engine.Service.eval
+       (Engine.Request.make
+          ~die:(Engine.Request.die_of_chip chip)
+          ~standard:ctx.Context.standard ~config Engine.Request.Snr_mod))
+      .Metrics.Spec.snr_mod_db
+  in
   let transfer ~lot_sigma_scale =
     let fabricate seed = Circuit.Process.fabricate ~lot_sigma_scale ~seed () in
     let rx_a = Rfchain.Receiver.create (fabricate 4242) ctx.Context.standard in
     let key_a = Calibration.Calibrate.quick rx_a in
-    let rx_b = Rfchain.Receiver.create (fabricate 4343) ctx.Context.standard in
-    let bench_b = Metrics.Measure.create rx_b in
-    (key_a, Metrics.Measure.snr_mod_db bench_b key_a)
+    (key_a, snr_on (fabricate 4343) key_a)
   in
   let key_a, with_variation = transfer ~lot_sigma_scale:1.0 in
   let _, without_variation = transfer ~lot_sigma_scale:0.0 in
-  let own =
-    let rx_a =
-      Rfchain.Receiver.create (Circuit.Process.fabricate ~seed:4242 ()) ctx.Context.standard
-    in
-    Metrics.Measure.snr_mod_db (Metrics.Measure.create rx_a) key_a
-  in
+  let own = snr_on (Circuit.Process.fabricate ~seed:4242 ()) key_a in
   {
     slicing;
     variation =

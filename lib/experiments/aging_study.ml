@@ -11,15 +11,22 @@ type t = {
   points : point list;
 }
 
+let snr_of ~standard die config =
+  (Engine.Service.eval (Engine.Request.make ~die ~standard ~config Engine.Request.Snr_mod))
+    .Metrics.Spec.snr_mod_db
+
 let run ?(hours = [ 1e3; 2e4; 1e5 ]) (ctx : Context.t) =
+  let standard = ctx.Context.standard in
   let fresh_snr_db =
-    Metrics.Measure.snr_mod_db (Metrics.Measure.create ctx.Context.rx) ctx.Context.golden
+    snr_of ~standard (Engine.Request.die_of_receiver ctx.Context.rx) ctx.Context.golden
   in
   let point h =
+    (* The aged die has its own engine identity (the fingerprint folds
+       in age_hours), so aged-key measurements cache independently of
+       the fresh die's. *)
     let aged_chip = Circuit.Process.age ctx.Context.chip ~hours:h in
     let aged_rx = Rfchain.Receiver.create aged_chip ctx.Context.standard in
-    let bench = Metrics.Measure.create aged_rx in
-    let snr_db = Metrics.Measure.snr_mod_db bench ctx.Context.golden in
+    let snr_db = snr_of ~standard (Engine.Request.die_of_chip aged_chip) ctx.Context.golden in
     let recal = (Calibration.Calibrate.run ~passes:1 ~max_retries:0 aged_rx).Calibration.Calibrate.report in
     {
       hours = h;

@@ -43,16 +43,26 @@ let field_of_bit bit =
   walk Rfchain.Config.field_names 0
 
 let run ?(distances = [ 1; 2; 4; 8; 16; 32 ]) ?(samples_per_distance = 6) (ctx : Context.t) =
-  let bench = Metrics.Measure.create ctx.Context.rx in
-  let snr_of config = Metrics.Measure.snr_mod_db bench config in
-  let golden_snr_db = snr_of ctx.Context.golden in
+  let die = Engine.Request.die_of_receiver ctx.Context.rx in
+  let standard = ctx.Context.standard in
+  let snr_batch configs =
+    Engine.Service.eval_batch
+      (List.map
+         (fun config -> Engine.Request.make ~die ~standard ~config Engine.Request.Snr_mod)
+         configs)
+    |> List.map (fun m -> m.Metrics.Spec.snr_mod_db)
+  in
+  let golden_snr_db = List.hd (snr_batch [ ctx.Context.golden ]) in
   let rng = Sigkit.Rng.create 1717 in
+  (* Candidate generation consumes the RNG sequentially (unchanged);
+     measurement is deferred to one engine batch per distance. *)
   let by_distance =
     List.map
       (fun distance ->
         let snrs =
-          List.init samples_per_distance (fun _ ->
-              snr_of (flip_bits rng ctx.Context.golden distance))
+          snr_batch
+            (List.init samples_per_distance (fun _ ->
+                 flip_bits rng ctx.Context.golden distance))
         in
         {
           distance;
@@ -62,11 +72,17 @@ let run ?(distances = [ 1; 2; 4; 8; 16; 32 ]) ?(samples_per_distance = 6) (ctx :
         })
       distances
   in
+  let single_bit_snrs =
+    snr_batch
+      (List.init 64 (fun bit ->
+           Rfchain.Config.of_bits
+             (Int64.logxor (Rfchain.Config.to_bits ctx.Context.golden)
+                (Int64.shift_left 1L bit))))
+  in
   let single_bit =
-    List.init 64 (fun bit ->
-        let word = Int64.logxor (Rfchain.Config.to_bits ctx.Context.golden) (Int64.shift_left 1L bit) in
-        let snr = snr_of (Rfchain.Config.of_bits word) in
-        { bit; field = field_of_bit bit; snr_drop_db = golden_snr_db -. snr })
+    List.mapi
+      (fun bit snr -> { bit; field = field_of_bit bit; snr_drop_db = golden_snr_db -. snr })
+      single_bit_snrs
     |> List.sort (fun a b -> compare b.snr_drop_db a.snr_drop_db)
   in
   { golden_snr_db; by_distance; single_bit }

@@ -7,8 +7,6 @@ type t = {
   golden : Rfchain.Config.t;
 }
 
-let ensemble_seed = 2020
-
 let create ?(seed = 42) ?(standard = Rfchain.Standards.max_frequency) ?(fast = false) () =
   Telemetry.Span.with_ ~name:"context.create"
     ~attrs:[ ("seed", string_of_int seed); ("standard", standard.Rfchain.Standards.name) ]
@@ -21,9 +19,16 @@ let create ?(seed = 42) ?(standard = Rfchain.Standards.max_frequency) ?(fast = f
   let calibration = outcome.Calibration.Calibrate.report in
   { seed; standard; chip; rx; calibration; golden = calibration.Calibration.Calibrate.key }
 
+(* The invalid-key ensemble is part of the experimental identity of a
+   context: distinct chips must face distinct ensembles (the historical
+   fixed seed 2020 gave every context the same 100 keys regardless of
+   [t.seed]).  The derivation keeps 2020 as the paper-era base so the
+   intent stays visible, and mixes in the context seed with an odd
+   multiplier so nearby seeds land on unrelated ensembles. *)
+let ensemble_seed t = 2020 + (7919 * t.seed)
+
 let invalid_ensemble ?(n = 100) t =
-  ignore t;
-  let rng = Sigkit.Rng.create ensemble_seed in
+  let rng = Sigkit.Rng.create (ensemble_seed t) in
   List.init n (fun _ -> Rfchain.Config.random rng)
 
 let deceptive_example t =

@@ -25,4 +25,10 @@ val deceptive_example : t -> Rfchain.Config.t
     always show the same key the Fig. 7 ensemble contains. *)
 
 val invalid_ensemble : ?n:int -> t -> Rfchain.Config.t list
-(** The seeded 100-key ensemble of Figs. 7/9 (seed fixed by [t]). *)
+(** The seeded 100-key ensemble of Figs. 7/9, derived from the
+    context's chip seed via {!ensemble_seed} so distinct chips face
+    distinct ensembles. *)
+
+val ensemble_seed : t -> int
+(** The RNG seed behind {!invalid_ensemble} — pass it to
+    [Core.Lock_eval.evaluate] to draw the exact same ensemble. *)

@@ -6,12 +6,21 @@ type t = {
 }
 
 let run ?(n_fft = 1024) (ctx : Context.t) =
-  let bench = Metrics.Measure.create ctx.Context.rx in
+  let die = Engine.Request.die_of_receiver ctx.Context.rx in
+  let standard = ctx.Context.standard in
   let sweep config =
-    let measure ~p_dbm ~gain_code =
-      Metrics.Measure.snr_rx_at_power_db ~n_fft bench config ~p_dbm ~gain_code
+    (* Every point of the three-segment power sweep as one engine
+       batch. *)
+    let measure_batch points =
+      Engine.Service.eval_batch
+        (List.map
+           (fun (p_dbm, gain_code) ->
+             Engine.Request.make ~die ~standard ~config
+               (Engine.Request.Snr_rx_at_power { n_fft; p_dbm; gain_code }))
+           points)
+      |> List.map (fun m -> m.Metrics.Spec.snr_rx_db)
     in
-    Metrics.Dynamic_range.sweep ~measure
+    Metrics.Dynamic_range.sweep_batch ~measure_batch
   in
   let correct = sweep ctx.Context.golden in
   let deceptive = sweep (Context.deceptive_example ctx) in

@@ -13,15 +13,29 @@ let default_powers = [ -40.0; -35.0; -30.0; -25.0; -20.0; -15.0 ]
 
 let run ?(powers = default_powers) (ctx : Context.t) =
   let deceptive = Context.deceptive_example ctx in
-  let point p_dbm =
-    let bench = Metrics.Measure.create ~p_dbm ctx.Context.rx in
-    {
-      p_dbm;
-      sfdr_correct_db = Metrics.Measure.sfdr_db bench ctx.Context.golden;
-      sfdr_deceptive_db = Metrics.Measure.sfdr_db bench deceptive;
-    }
+  let die = Engine.Request.die_of_receiver ctx.Context.rx in
+  let standard = ctx.Context.standard in
+  (* Both keys at every power as one engine batch (the two SFDR
+     captures per point are independent). *)
+  let sfdrs =
+    Engine.Service.eval_batch
+      (List.concat_map
+         (fun p_dbm ->
+           List.map
+             (fun config ->
+               Engine.Request.make ~p_dbm ~die ~standard ~config Engine.Request.Sfdr)
+             [ ctx.Context.golden; deceptive ])
+         powers)
+    |> List.map (fun m -> Option.get m.Metrics.Spec.sfdr_db)
   in
-  let points = List.map point powers in
+  let rec points powers sfdrs =
+    match powers, sfdrs with
+    | [], [] -> []
+    | p_dbm :: powers, sfdr_correct_db :: sfdr_deceptive_db :: sfdrs ->
+      { p_dbm; sfdr_correct_db; sfdr_deceptive_db } :: points powers sfdrs
+    | _ -> invalid_arg "Fig12: batch result shape mismatch"
+  in
+  let points = points powers sfdrs in
   let gaps = List.map (fun p -> p.sfdr_correct_db -. p.sfdr_deceptive_db) points in
   {
     points;

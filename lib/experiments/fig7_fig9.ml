@@ -6,7 +6,11 @@ type t = {
 
 let run ?(n_invalid = 100) (ctx : Context.t) =
   let eval =
-    Core.Lock_eval.evaluate ~n_invalid ~seed:2020 ctx.Context.rx ~correct:ctx.Context.golden ()
+    (* Same derived seed as Context.invalid_ensemble, so the deceptive
+       key Figs. 8/10/11/12 reuse is guaranteed to be in this
+       ensemble. *)
+    Core.Lock_eval.evaluate ~n_invalid ~seed:(Context.ensemble_seed ctx) ctx.Context.rx
+      ~correct:ctx.Context.golden ()
   in
   let deceptive =
     match Core.Lock_eval.best_invalid eval with

@@ -59,19 +59,24 @@ let run ?(lot = 8) ?(seed_base = 6000) standard =
   let dice = List.init lot (fun i -> calibrate_die standard (seed_base + i)) in
   let in_spec = List.filter (fun d -> d.in_spec) dice in
   let median = median_key dice in
-  let works_on key seed = Core.Threat_model.evaluate_config standard ~seed key in
-  let uncal = List.filter (fun d -> works_on median d.seed) dice in
-  (* Transfer matrix, off-diagonal. *)
-  let transfers, attempts =
-    List.fold_left
-      (fun (ok, n) donor ->
-        List.fold_left
-          (fun (ok, n) target ->
-            if donor.seed = target.seed then (ok, n)
-            else ((if works_on donor.key target.seed then ok + 1 else ok), n + 1))
-          (ok, n) dice)
-      (0, 0) dice
+  (* Lot-median yield and the off-diagonal transfer matrix are both
+     independent (die, key) evaluations: one engine batch each. *)
+  let uncal_flags =
+    Core.Threat_model.evaluate_many standard (List.map (fun d -> (d.seed, median)) dice)
   in
+  let uncal = List.filter_map Fun.id (List.map2 (fun d ok -> if ok then Some d else None) dice uncal_flags) in
+  let transfer_flags =
+    Core.Threat_model.evaluate_many standard
+      (List.concat_map
+         (fun donor ->
+           List.filter_map
+             (fun target ->
+               if donor.seed = target.seed then None else Some (target.seed, donor.key))
+             dice)
+         dice)
+  in
+  let transfers = List.length (List.filter Fun.id transfer_flags) in
+  let attempts = List.length transfer_flags in
   let distances = List.map (fun (a, b) -> Rfchain.Config.hamming_distance a.key b.key) (pairs dice) in
   let field_spread =
     List.map

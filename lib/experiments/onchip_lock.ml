@@ -8,7 +8,11 @@ type t = {
 }
 
 let snr_of (ctx : Context.t) config =
-  Metrics.Measure.snr_mod_db (Metrics.Measure.create ctx.Context.rx) config
+  (Engine.Service.eval
+     (Engine.Request.make
+        ~die:(Engine.Request.die_of_receiver ctx.Context.rx)
+        ~standard:ctx.Context.standard ~config Engine.Request.Snr_mod))
+    .Metrics.Spec.snr_mod_db
 
 let run ?(n_wrong = 6) ?(seed = 404) (ctx : Context.t) =
   let rng = Sigkit.Rng.create seed in

@@ -47,9 +47,9 @@ let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
      it unlocks other dice (the paper's transferability argument). *)
   let transfer_count config =
     List.length
-      (List.filter
-         (fun i -> Core.Threat_model.evaluate_config ctx.Context.standard ~seed:(880000 + i) config)
-         (List.init transfer_lot (fun i -> i)))
+      (List.filter Fun.id
+         (Core.Threat_model.evaluate_many ctx.Context.standard
+            (List.init transfer_lot (fun i -> (880000 + i, config)))))
   in
   let of_brute (r : Attacks.Brute_force.result) queries =
     {

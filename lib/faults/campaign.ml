@@ -109,11 +109,18 @@ let run ?(dies = 3) ?(seed = 42) standard =
       | (_, chip, key) :: _ -> (chip, key)
       | [] -> (Circuit.Process.fabricate ~seed (), Rfchain.Config.nominal) (* dies >= 1 *)
     in
-    let bench0 = Metrics.Measure.create (Rfchain.Receiver.create chip0 standard) in
-    let golden_snr_mod_db = Metrics.Measure.snr_mod_db bench0 key0 in
+    let die0 = Engine.Request.die_of_chip chip0 in
+    let golden_snr_mod_db =
+      (Engine.Service.eval
+         (Engine.Request.make ~die:die0 ~standard ~config:key0 Engine.Request.Snr_mod))
+        .Metrics.Spec.snr_mod_db
+    in
     (* Fault x severity x die grid, golden key applied to the faulted
-       part. *)
-    let cells =
+       part.  The grid is embarrassingly parallel: build every cell's
+       engine request up front, evaluate as one batch (fans out across
+       the domains backend under --jobs), then zip the SNRs back in
+       grid order. *)
+    let cell_points =
       List.concat_map
         (fun (die_seed, chip, key) ->
           List.concat_map
@@ -121,55 +128,81 @@ let run ?(dies = 3) ?(seed = 42) standard =
               List.map
                 (fun severity ->
                   Telemetry.Counter.incr cells_counter;
-                  Telemetry.Span.with_ ~name:"faults.cell"
-                    ~attrs:
-                      [
-                        ("die", string_of_int die_seed);
-                        ("mechanism", mech);
-                        ("severity", Fault.severity_name severity);
-                      ]
-                  @@ fun () ->
                   let faults = make ~die:die_seed severity in
-                  let rx = Inject.receiver chip standard faults in
-                  let bench = Metrics.Measure.create rx in
-                  let snr_mod_db = Metrics.Measure.snr_mod_db bench key in
-                  let snr_mod_db =
-                    if Float.is_nan snr_mod_db then neg_infinity else snr_mod_db
-                  in
-                  let lock_margin_db = snr_mod_db -. min_snr in
-                  {
-                    die_seed;
-                    mechanism = mech;
-                    severity;
-                    faults;
-                    snr_mod_db;
-                    lock_margin_db;
-                    in_spec = lock_margin_db >= 0.0;
-                  })
+                  (die_seed, mech, severity, faults, chip, key))
                 Fault.all_severities)
             mechanisms)
         lot
     in
+    let cell_snrs =
+      Engine.Service.eval_batch
+        (List.map
+           (fun (_, _, _, faults, chip, key) ->
+             Engine.Request.make ~die:(Inject.die chip faults) ~standard ~config:key
+               Engine.Request.Snr_mod)
+           cell_points)
+    in
+    let cells =
+      List.map2
+        (fun (die_seed, mech, severity, faults, _, _) m ->
+          let snr_mod_db = m.Metrics.Spec.snr_mod_db in
+          let snr_mod_db = if Float.is_nan snr_mod_db then neg_infinity else snr_mod_db in
+          let lock_margin_db = snr_mod_db -. min_snr in
+          {
+            die_seed;
+            mechanism = mech;
+            severity;
+            faults;
+            snr_mod_db;
+            lock_margin_db;
+            in_spec = lock_margin_db >= 0.0;
+          })
+        cell_points cell_snrs
+    in
     (* Single-bit corruption cliff: flip each key bit on the healthy
-       primary die.  Fast SNR probe first; only apparent survivors pay
-       for the full spec check (which also catches fake unlocks via the
-       verified-SNR measurement). *)
+       primary die.  Fast SNR probes go out as one batch; only apparent
+       survivors pay for the full spec check (a second, much smaller
+       batch). *)
+    let corrupted_of bit =
+      Rfchain.Config.of_bits
+        (Int64.logxor (Rfchain.Config.to_bits key0) (Int64.shift_left 1L bit))
+    in
+    let bits = List.init Rfchain.Config.key_bits (fun bit -> bit) in
+    let probe_snrs =
+      Engine.Service.eval_batch
+        (List.map
+           (fun bit ->
+             Telemetry.Counter.incr flip_probes_counter;
+             Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)
+               Engine.Request.Snr_mod)
+           bits)
+      |> List.map (fun m ->
+             let snr = m.Metrics.Spec.snr_mod_db in
+             if Float.is_nan snr then neg_infinity else snr)
+    in
+    let probes = List.combine bits probe_snrs in
+    let survivor_bits = List.filter (fun (_, snr) -> snr >= min_snr) probes in
+    let survivor_checks =
+      Engine.Service.eval_batch
+        (List.map
+           (fun (bit, _) ->
+             Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)
+               Engine.Request.Full)
+           survivor_bits)
+      |> List.map2
+           (fun (bit, _) m -> (bit, (Metrics.Spec.check standard m).Metrics.Spec.functional))
+           survivor_bits
+    in
     let flips =
-      List.init Rfchain.Config.key_bits (fun bit ->
-          Telemetry.Counter.incr flip_probes_counter;
-          let corrupted =
-            Rfchain.Config.of_bits
-              (Int64.logxor (Rfchain.Config.to_bits key0) (Int64.shift_left 1L bit))
-          in
-          let snr = Metrics.Measure.snr_mod_db bench0 corrupted in
-          let snr = if Float.is_nan snr then neg_infinity else snr in
+      List.map
+        (fun (bit, snr) ->
           let survives_full =
-            snr >= min_snr
-            &&
-            let m = Metrics.Measure.full bench0 corrupted in
-            (Metrics.Spec.check standard m).Metrics.Spec.functional
+            match List.assoc_opt bit survivor_checks with
+            | Some functional -> functional
+            | None -> false
           in
           { bit; flip_snr_mod_db = snr; survives_full })
+        probes
     in
     let unlocked_bits =
       List.filter_map (fun p -> if p.survives_full then Some p.bit else None) flips

@@ -72,8 +72,30 @@ let rf_of faults =
   | [] -> None
   | steps -> Some (fun input -> List.fold_left (fun input step -> step input) input steps)
 
-let receiver chip standard faults =
-  let chip = chip_of chip faults in
-  Rfchain.Receiver.create ?fabric:(fabric_of faults) ?rf_fault:(rf_of faults) chip standard
+(* Canonical, collision-free serialisation of a fault list (floats in
+   exact hex, application order preserved): the engine tag that makes a
+   faulted die content-addressable in the evaluation cache. *)
+let tag_of faults =
+  List.map
+    (fun (fault : Fault.t) ->
+      match fault with
+      | Fault.Stuck_bits { mask; value } -> Printf.sprintf "stuck:%016Lx:%016Lx" mask value
+      | Fault.Register_flip { rate; seed } -> Printf.sprintf "flip:%h:%d" rate seed
+      | Fault.Comparator_drift { offset_v } -> Printf.sprintf "comp:%h" offset_v
+      | Fault.Pvt_drift { scale } -> Printf.sprintf "pvt:%h" scale
+      | Fault.Burst_noise { rate; amplitude; seed } ->
+        Printf.sprintf "burst:%h:%h:%d" rate amplitude seed
+      | Fault.Aging { hours } -> Printf.sprintf "aging:%h" hours)
+    faults
+  |> String.concat ";"
+
+let die chip faults =
+  Engine.Request.faulted_die
+    ?fabric:(fabric_of faults)
+    ?rf_fault:(rf_of faults)
+    ~tag:(tag_of faults)
+    (chip_of chip faults)
+
+let receiver chip standard faults = Engine.Request.receiver (die chip faults) standard
 
 let rig ~seed ~standard faults = receiver (Circuit.Process.fabricate ~seed ()) standard faults

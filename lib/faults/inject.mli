@@ -19,8 +19,19 @@ val fabric_of : Fault.t list -> (Rfchain.Config.t -> Rfchain.Config.t) option
 val rf_of : Fault.t list -> (float array -> float array) option
 (** The RF-input corruption, or [None]. *)
 
+val tag_of : Fault.t list -> string
+(** Canonical, collision-free serialisation of a fault list (exact-hex
+    floats, application order preserved) — the engine cache tag for a
+    faulted die. *)
+
+val die : Circuit.Process.chip -> Fault.t list -> Engine.Request.die
+(** The faulted die as an evaluation-engine request target: chip-level
+    faults folded into the chip, fabric/RF faults installed as hooks,
+    tagged with {!tag_of} so its measurements are cacheable. *)
+
 val receiver : Circuit.Process.chip -> Rfchain.Standards.t -> Fault.t list -> Rfchain.Receiver.t
-(** A receiver on the given die with all faults installed. *)
+(** A receiver on the given die with all faults installed (built
+    through the engine's one receiver constructor). *)
 
 val rig : seed:int -> standard:Rfchain.Standards.t -> Fault.t list -> Rfchain.Receiver.t
 (** [receiver] on a freshly fabricated die with the given seed. *)

@@ -21,16 +21,39 @@ let segments =
 
 let step_dbm = 5.0
 
-let sweep ~measure =
-  let run_segment (label, lo_dbm, hi_dbm, gain_code) =
-    let n_points = int_of_float (Float.round ((hi_dbm -. lo_dbm) /. step_dbm)) + 1 in
-    let point i =
-      let p_dbm = lo_dbm +. (step_dbm *. float_of_int i) in
-      { p_dbm; gain_code; snr_db = measure ~p_dbm ~gain_code }
-    in
-    { label; lo_dbm; hi_dbm; segment_gain_code = gain_code; points = List.init n_points point }
+let grid () =
+  List.map
+    (fun (label, lo_dbm, hi_dbm, gain_code) ->
+      let n_points = int_of_float (Float.round ((hi_dbm -. lo_dbm) /. step_dbm)) + 1 in
+      ( (label, lo_dbm, hi_dbm, gain_code),
+        List.init n_points (fun i -> (lo_dbm +. (step_dbm *. float_of_int i), gain_code)) ))
+    segments
+
+let assemble results =
+  let results = ref results in
+  let take () =
+    match !results with
+    | r :: rest ->
+      results := rest;
+      r
+    | [] -> invalid_arg "Dynamic_range: measure_batch returned too few results"
   in
-  List.map run_segment segments
+  List.map
+    (fun ((label, lo_dbm, hi_dbm, gain_code), points) ->
+      {
+        label;
+        lo_dbm;
+        hi_dbm;
+        segment_gain_code = gain_code;
+        points = List.map (fun (p_dbm, gain_code) -> { p_dbm; gain_code; snr_db = take () }) points;
+      })
+    (grid ())
+
+let sweep_batch ~measure_batch =
+  assemble (measure_batch (List.concat_map snd (grid ())))
+
+let sweep ~measure =
+  sweep_batch ~measure_batch:(List.map (fun (p_dbm, gain_code) -> measure ~p_dbm ~gain_code))
 
 let dynamic_range_db segs ~min_snr_db =
   let passing =

@@ -29,6 +29,12 @@ val sweep : measure:(p_dbm:float -> gain_code:int -> float) -> segment list
     SNR in dB (the callback hides whether an actual chip, a locked chip
     or an idealised model is being measured). *)
 
+val sweep_batch : measure_batch:((float * int) list -> float list) -> segment list
+(** {!sweep} with all (p_dbm, gain_code) points handed over at once —
+    for callers that can evaluate the sweep as one engine batch.
+    [measure_batch] must return SNRs in input order; {!sweep} is
+    [sweep_batch] over [List.map]. *)
+
 val dynamic_range_db : segment list -> min_snr_db:float -> float
 (** Width (dB) of the input-power region, across all segments, in which
     the SNR meets [min_snr_db]. *)

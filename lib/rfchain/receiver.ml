@@ -20,6 +20,9 @@ let create ?fabric ?rf_fault chip standard =
 let chip t = t.chip
 let standard t = t.standard
 let fs t = Standards.fs t.standard
+let has_hooks t = t.fabric <> None || t.rf_fault <> None
+let fabric t = t.fabric
+let rf_fault t = t.rf_fault
 
 (* The programming fabric sits between the key register and the analog
    knobs: a faulty fabric (stuck bits, transient upsets) rewrites the

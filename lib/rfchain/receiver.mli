@@ -39,6 +39,17 @@ val chip : t -> Circuit.Process.chip
 val standard : t -> Standards.t
 val fs : t -> float
 
+val has_hooks : t -> bool
+(** True when a [fabric] or [rf_fault] hook is installed.  A hook-free
+    receiver is a pure function of its chip fingerprint, which is what
+    lets the evaluation engine cache its measurements. *)
+
+val fabric : t -> (Config.t -> Config.t) option
+val rf_fault : t -> (float array -> float array) option
+(** The injection hooks as passed to {!create} — exposed so the
+    evaluation engine can rebuild an equivalent receiver from a request
+    without this module depending on the engine. *)
+
 val run :
   t ->
   analog:Config.t ->

@@ -18,10 +18,12 @@ type t = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  lock : Mutex.t;
 }
 
 let create name =
-  { name; buckets = Array.make n_buckets 0; count = 0; sum = 0.0; min_v = nan; max_v = nan }
+  { name; buckets = Array.make n_buckets 0; count = 0; sum = 0.0; min_v = nan; max_v = nan;
+    lock = Mutex.create () }
 
 let table : (string, t) Hashtbl.t = Hashtbl.create 32
 
@@ -35,7 +37,12 @@ let make name =
 
 let unregistered name = create name
 
+(* [observe] is the one histogram entry point reachable from worker
+   domains (the FFT hot path runs inside the evaluation engine's pool),
+   so it takes the per-histogram lock.  Reads (quantile/summarize) run
+   on the main domain after workers have quiesced between batches. *)
 let observe t v =
+  Mutex.lock t.lock;
   t.count <- t.count + 1;
   if Float.is_finite v then begin
     t.sum <- t.sum +. v;
@@ -43,7 +50,8 @@ let observe t v =
     if Float.is_nan t.max_v || v > t.max_v then t.max_v <- v;
     let i = bucket_of v in
     t.buckets.(i) <- t.buckets.(i) + 1
-  end
+  end;
+  Mutex.unlock t.lock
 
 let count t = t.count
 let sum t = t.sum

@@ -84,8 +84,15 @@ let finish frame =
       :: !events_rev
   end
 
+(* The span stack and event buffer are single-domain structures.  Spans
+   are only recorded on the domain that initialised telemetry (the main
+   domain); worker domains in the evaluation engine's pool run the
+   traced code without recording, which keeps traces well-nested and
+   race-free.  Counters and histograms remain exact on all domains. *)
+let main_domain = Domain.self ()
+
 let with_ ?(attrs = []) ~name f =
-  if not (Control.enabled ()) then f ()
+  if (not (Control.enabled ())) || Domain.self () <> main_domain then f ()
   else begin
     let start = Clock.now_ns () in
     if !epoch = None then epoch := Some start;

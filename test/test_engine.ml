@@ -1,0 +1,119 @@
+(* Tests for the central evaluation engine: cache hits must be free
+   (zero simulator steps) and bit-identical, the LRU must evict at
+   capacity, batches must preserve request order, and the Domains
+   backend must agree with the sequential backend bit-for-bit. *)
+
+let standard =
+  match Rfchain.Standards.find_opt "bluetooth" with
+  | Some s -> s
+  | None -> Alcotest.fail "bluetooth standard missing"
+
+let die = lazy (Engine.Request.die_of_seed 42)
+
+let config_of_bit bit =
+  Rfchain.Config.of_bits
+    (Int64.logxor (Rfchain.Config.to_bits Rfchain.Config.nominal) (Int64.shift_left 1L bit))
+
+let request config =
+  Engine.Request.make ~die:(Lazy.force die) ~standard ~config Engine.Request.Snr_mod
+
+let counter name =
+  match Telemetry.Counter.find name with
+  | Some c -> Telemetry.Counter.value c
+  | None -> 0
+
+let bits = Int64.bits_of_float
+
+let same_measurement (a : Metrics.Spec.measurement) (b : Metrics.Spec.measurement) =
+  bits a.Metrics.Spec.snr_mod_db = bits b.Metrics.Spec.snr_mod_db
+  && bits a.Metrics.Spec.snr_rx_db = bits b.Metrics.Spec.snr_rx_db
+  &&
+  match (a.Metrics.Spec.sfdr_db, b.Metrics.Spec.sfdr_db) with
+  | None, None -> true
+  | Some x, Some y -> bits x = bits y
+  | _ -> false
+
+(* -------------------------------------------------------------- cache *)
+
+let test_cache_hit () =
+  let engine = Engine.Service.create () in
+  let req = request Rfchain.Config.nominal in
+  let trials0 = counter "measure.trials" in
+  let first = Engine.Service.eval ~engine req in
+  let miss_cost = counter "measure.trials" - trials0 in
+  let steps0 = counter "sdm.steps" in
+  let hits0 = counter "engine.cache.hit" in
+  let trials1 = counter "measure.trials" in
+  let second = Engine.Service.eval ~engine req in
+  Alcotest.(check bool) "hit is bit-identical to the miss" true (same_measurement first second);
+  Alcotest.(check int) "hit runs zero simulator steps" steps0 (counter "sdm.steps");
+  Alcotest.(check int) "hit is recorded" (hits0 + 1) (counter "engine.cache.hit");
+  (* The hit replays the original trial cost, so query accounting is
+     invariant to cache warmth. *)
+  Alcotest.(check int) "hit replays the trial cost" (trials1 + miss_cost)
+    (counter "measure.trials");
+  Engine.Service.shutdown engine
+
+let test_lru_eviction () =
+  let engine = Engine.Service.create ~cache_capacity:2 () in
+  let r1 = request (config_of_bit 0) in
+  let r2 = request (config_of_bit 1) in
+  let r3 = request (config_of_bit 2) in
+  ignore (Engine.Service.eval ~engine r1);
+  ignore (Engine.Service.eval ~engine r2);
+  let evict0 = counter "engine.cache.evict" in
+  ignore (Engine.Service.eval ~engine r3);
+  Alcotest.(check int) "third insert evicts at capacity 2" (evict0 + 1)
+    (counter "engine.cache.evict");
+  (* r1 was least recently used, so it is the one that went. *)
+  let miss0 = counter "engine.cache.miss" in
+  let hit0 = counter "engine.cache.hit" in
+  ignore (Engine.Service.eval ~engine r1);
+  Alcotest.(check int) "evicted entry misses" (miss0 + 1) (counter "engine.cache.miss");
+  Alcotest.(check int) "no phantom hit for the evicted entry" hit0 (counter "engine.cache.hit");
+  (* r3 is still resident. *)
+  ignore (Engine.Service.eval ~engine r3);
+  Alcotest.(check int) "recent entry still hits" (hit0 + 1) (counter "engine.cache.hit");
+  Engine.Service.shutdown engine
+
+(* -------------------------------------------------------------- batch *)
+
+let test_batch_order () =
+  let engine = Engine.Service.create ~cache:false () in
+  let reqs = List.map (fun bit -> request (config_of_bit bit)) [ 3; 0; 7; 1; 5 ] in
+  let batch = Engine.Service.eval_batch ~engine reqs in
+  let singles = List.map (fun r -> Engine.Service.eval ~engine r) reqs in
+  Alcotest.(check int) "one result per request" (List.length reqs) (List.length batch);
+  List.iteri
+    (fun i (b, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "batch slot %d matches its request" i)
+        true (same_measurement b s))
+    (List.combine batch singles);
+  Engine.Service.shutdown engine
+
+let seq_engine = lazy (Engine.Service.create ~jobs:1 ~cache:false ())
+let pool_engine = lazy (Engine.Service.create ~jobs:2 ~cache:false ())
+
+let prop_backend_equivalence =
+  QCheck.Test.make ~name:"Seq and Domains backends agree bit-for-bit" ~count:4
+    QCheck.(list_of_size (Gen.int_range 1 4) (int_range 0 63))
+    (fun flipped_bits ->
+      let reqs = List.map (fun bit -> request (config_of_bit bit)) flipped_bits in
+      let seq = Engine.Service.eval_batch ~engine:(Lazy.force seq_engine) reqs in
+      let par = Engine.Service.eval_batch ~engine:(Lazy.force pool_engine) reqs in
+      List.for_all2 same_measurement seq par)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit is free and identical" `Quick test_cache_hit;
+          Alcotest.test_case "LRU evicts at capacity" `Quick test_lru_eviction;
+        ] );
+      ( "batch",
+        [ Alcotest.test_case "order preservation" `Quick test_batch_order ]
+        @ qcheck [ prop_backend_equivalence ] );
+    ]
