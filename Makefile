@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke bench-json bench-json-fast ci clean
 
 all: build
 
@@ -42,13 +42,28 @@ telemetry-smoke:
 
 # The evaluation engine must not perturb results: the same figure run
 # on the Domains backend (and with the cache disabled) must be
-# byte-identical to the sequential cached run.
+# byte-identical to the sequential cached run.  fig10 rides along so a
+# spectral (periodogram-heavy) workload crosses the pool too — its
+# workspace arenas are domain-local and must not leak state between
+# lanes.
 engine-smoke:
 	dune exec bin/repro.exe -- fig7 --fast --seed 42 --standard bluetooth --jobs 1 > /tmp/fig7-jobs1.out
 	dune exec bin/repro.exe -- fig7 --fast --seed 42 --standard bluetooth --jobs 2 > /tmp/fig7-jobs2.out
 	cmp /tmp/fig7-jobs1.out /tmp/fig7-jobs2.out
 	dune exec bin/repro.exe -- fig7 --fast --seed 42 --standard bluetooth --jobs 4 --no-cache > /tmp/fig7-jobs4.out
 	cmp /tmp/fig7-jobs1.out /tmp/fig7-jobs4.out
+	dune exec bin/repro.exe -- fig10 --seed 42 --standard bluetooth --jobs 1 > /tmp/fig10-jobs1.out
+	dune exec bin/repro.exe -- fig10 --seed 42 --standard bluetooth --jobs 4 > /tmp/fig10-jobs4.out
+	cmp /tmp/fig10-jobs1.out /tmp/fig10-jobs4.out
+
+# Perf trajectory: re-measure the Bechamel kernels and rewrite
+# BENCH_4.json (full quota; commit the result).  The -fast variant is
+# what CI runs on every push — shorter quota, same JSON schema.
+bench-json:
+	dune exec bench/main.exe -- --quick --json
+
+bench-json-fast:
+	dune exec bench/main.exe -- --quick --fast --json
 
 ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke
 

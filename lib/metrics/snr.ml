@@ -36,7 +36,8 @@ let of_baseband_iq ?(n_fft = 2048) ~fs ~f_signal ~f_band (i_ch, q_ch) =
   let n = if Sigkit.Fft.is_pow2 n then n else Sigkit.Fft.next_pow2 n / 2 in
   if n < 64 then invalid_arg "Snr.of_baseband_iq: record too short";
   let take ch = Array.sub ch (Array.length ch - n) n in
-  let window = Sigkit.Window.coefficients Sigkit.Window.Hann n in
+  (* Shared memo table: read-only here, so no copy is needed. *)
+  let window = Sigkit.Window.table Sigkit.Window.Hann n in
   let re = take i_ch and im = take q_ch in
   for k = 0 to n - 1 do
     re.(k) <- re.(k) *. window.(k);

@@ -32,21 +32,24 @@ let cic ~r x =
         incr out_idx
       end
     done;
-    let stage = ref decimated in
-    for _ = 1 to cic_order do
-      let prev = ref 0.0 in
-      let next =
-        Array.map
-          (fun v ->
-            let d = v -. !prev in
-            prev := v;
-            d)
-          !stage
-      in
-      stage := next
-    done;
+    (* Comb stages fused into one in-place pass: element j only needs
+       each stage's previous output, so the [cic_order] separate
+       [Array.map] allocations collapse into a [prev] vector, with the
+       gain normalisation folded into the final stage.  The per-stage
+       difference chain is evaluated in the same order as the staged
+       version, so the result is bit-identical. *)
     let gain = float_of_int r ** float_of_int cic_order in
-    Array.map (fun v -> v /. gain) !stage
+    let prev = Array.make cic_order 0.0 in
+    for j = 0 to n_out - 1 do
+      let d = ref (Array.unsafe_get decimated j) in
+      for s = 0 to cic_order - 1 do
+        let v = !d in
+        d := v -. Array.unsafe_get prev s;
+        Array.unsafe_set prev s v
+      done;
+      Array.unsafe_set decimated j (!d /. gain)
+    done;
+    decimated
   end
 
 (* 31-tap Hann-windowed half-band low-pass for the final 2x stage: the
@@ -65,21 +68,48 @@ let halfband_taps =
         let w = 0.5 -. (0.5 *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int (taps - 1))) in
         ideal *. w)
   in
+  (* DC normalisation folded into the tap table, in place, once. *)
   let dc = Array.fold_left ( +. ) 0.0 h in
-  Array.map (fun v -> v /. dc) h
+  for k = 0 to taps - 1 do
+    h.(k) <- h.(k) /. dc
+  done;
+  h
 
 let fir_decimate2 x =
   let n = Array.length x in
   let taps = Array.length halfband_taps in
+  let half_taps = taps / 2 in
   let n_out = n / 2 in
-  Array.init n_out (fun j ->
-      let centre = 2 * j in
-      let acc = ref 0.0 in
-      for k = 0 to taps - 1 do
-        let idx = centre + k - (taps / 2) in
-        if idx >= 0 && idx < n then acc := !acc +. (halfband_taps.(k) *. x.(idx))
-      done;
-      !acc)
+  let out = Array.make n_out 0.0 in
+  let h = halfband_taps in
+  (* Interior outputs touch only in-range samples: no bounds tests and
+     unsafe accesses; the two record edges keep the guarded loop. *)
+  let j_lo = min n_out ((half_taps + 1) / 2) in
+  let j_hi = max j_lo ((n - half_taps) / 2) in
+  let edge j =
+    let centre = 2 * j in
+    let acc = ref 0.0 in
+    for k = 0 to taps - 1 do
+      let idx = centre + k - half_taps in
+      if idx >= 0 && idx < n then acc := !acc +. (h.(k) *. x.(idx))
+    done;
+    out.(j) <- !acc
+  in
+  for j = 0 to j_lo - 1 do
+    edge j
+  done;
+  for j = j_lo to j_hi - 1 do
+    let base = (2 * j) - half_taps in
+    let acc = ref 0.0 in
+    for k = 0 to taps - 1 do
+      acc := !acc +. (Array.unsafe_get h k *. Array.unsafe_get x (base + k))
+    done;
+    Array.unsafe_set out j !acc
+  done;
+  for j = j_hi to n_out - 1 do
+    edge j
+  done;
+  out
 
 (* Crude fallback 2x stage (compensator bit off): a two-sample average,
    which lets images through — the "wrong digital setting" behaviour. *)

@@ -155,82 +155,176 @@ let k2 = -2.0
 let runs = Telemetry.Counter.make "sdm.runs"
 let steps = Telemetry.Counter.make "sdm.steps"
 
+(* Decision history length for the feedback DAC: a power of two so the
+   circular index is a mask, deep enough for the largest delay code. *)
+let hist_len = 8
+let hist_mask = hist_len - 1
+
+(* Fused inner loop for the normal operating mode (clocked comparator,
+   loop closed, input on, calibration buffer out of the path — every
+   measurement-side evaluation of a key lands here).  All per-sample
+   branches of the generic loop are decided before the loop; resonator
+   and comparator states live in local floats (the recurrences are
+   replicated expression-for-expression from [Circuit.Resonator] and
+   [Circuit.Comparator], so the output is bit-identical to the generic
+   path); noise is pre-filled per run; the history shift is a masked
+   circular index.  Array accesses are unsafe after one bounds check
+   ([input], [output], and both noise buffers have length >= n). *)
+let run_fused t ~n ~comp_noise_sigma ~d_int ~d_frac ~comp_buf ~input_buf input output =
+  let a1_1 = 2.0 *. t.r *. cos t.tank1.theta in
+  let a1_2 = 2.0 *. t.r *. cos t.tank2.theta in
+  let a2 = -.(t.r *. t.r) in
+  let limit = 50.0 in
+  let r1y1 = ref 0.0 and r1y2 = ref 0.0 and r1x1 = ref 0.0 and r1x2 = ref 0.0 in
+  let r2y1 = ref 0.0 and r2y2 = ref 0.0 and r2x1 = ref 0.0 and r2x2 = ref 0.0 in
+  let comp_prev = ref 1.0 in
+  let preamp = t.preamp_gain in
+  let offset = t.comp_offset and hyst = t.comp_hysteresis in
+  let gdac = t.gdac and mismatch = t.dac_mismatch in
+  let gmin = t.gmin and gmin_stage = t.gmin_stage in
+  let in_sigma = t.input_noise_sigma in
+  let fa = 1.0 -. d_frac in
+  let hist = Array.make hist_len 0.0 in
+  let head = ref 0 in
+  for i = 0 to n - 1 do
+    (* Resonator 1 output (uses only past inputs). *)
+    let w1 =
+      let y = (a1_1 *. !r1y1) +. (a2 *. !r1y2) +. !r1x2 in
+      let y = if y > limit then limit else if y < -.limit then -.limit else y in
+      r1y2 := !r1y1;
+      r1y1 := y;
+      r1x2 := !r1x1;
+      y
+    in
+    let w2 =
+      let y = (a1_2 *. !r2y1) +. (a2 *. !r2y2) +. !r2x2 in
+      let y = if y > limit then limit else if y < -.limit then -.limit else y in
+      r2y2 := !r2y1;
+      r2y1 := y;
+      r2x2 := !r2x1;
+      y
+    in
+    let s = preamp *. (w2 +. 0.0) in
+    (* Clocked comparator with hysteresis. *)
+    let v_in = s +. offset +. (comp_noise_sigma *. Array.unsafe_get comp_buf i) in
+    let v =
+      if Float.abs v_in <= hyst then !comp_prev else if v_in > 0.0 then 1.0 else -1.0
+    in
+    comp_prev := v;
+    (* Circular decision history; tap k of the seed's shifted array is
+       the decision k samples old, i.e. index (head + k) under the mask. *)
+    let h = (!head + hist_mask) land hist_mask in
+    head := h;
+    Array.unsafe_set hist h v;
+    let v_delayed =
+      (fa *. Array.unsafe_get hist ((h + d_int) land hist_mask))
+      +. (d_frac *. Array.unsafe_get hist ((h + d_int + 1) land hist_mask))
+    in
+    let fb = gdac *. (v_delayed +. mismatch) in
+    let u =
+      (gmin *. Circuit.Nonlinear.apply gmin_stage (Array.unsafe_get input i))
+      +. (in_sigma *. Array.unsafe_get input_buf i)
+    in
+    r1x1 := u -. (k1 *. fb);
+    r2x1 := w1 -. (k2 *. fb);
+    Array.unsafe_set output i v
+  done
+
 let run t input =
   let n = Array.length input in
   Telemetry.Counter.incr runs;
   Telemetry.Counter.add steps n;
   Telemetry.Span.with_ ~name:"sdm.run" (fun () ->
   let cfg = t.config in
-  let res1 = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:50.0 () in
-  let res2 = Circuit.Resonator.create ~theta:t.tank2.theta ~r:t.r ~limit:50.0 () in
-  let comp_mode =
-    if cfg.comp_clock_enable then Circuit.Comparator.Clocked else Circuit.Comparator.Buffer
-  in
   let comp_noise = Circuit.Process.noise_stream t.chip ~name:"run.comp" in
   (* Without the clock the latch never regenerates: its full
      input-referred noise shows up on the buffered output. *)
   let comp_noise_sigma =
     if cfg.comp_clock_enable then t.comp_noise_sigma else Float.max t.comp_noise_sigma 0.05
   in
-  let comparator =
-    Circuit.Comparator.create ~mode:comp_mode ~offset:t.comp_offset
-      ~hysteresis:t.comp_hysteresis ~noise:comp_noise ~noise_sigma:comp_noise_sigma ()
-  in
-  (* Opening the feedback loop removes the DAC's DC path that defines
-     the loop filter's operating point: the comparator input floats to
-     a large offset. *)
-  let open_loop_offset = if cfg.fb_enable then 0.0 else 0.5 in
   let input_noise = Circuit.Process.noise_stream t.chip ~name:"run.input" in
-  (* An unclocked comparator output crosses into the clocked digital
-     domain asynchronously: no retiming, so the effective sampling
-     instant wanders (metastability + clock skew).  ~0.2 samples rms at
-     12 GS/s; first-order jitter error is slope * delta_t.  The clocked
-     path is synchronous and jitter-free. *)
-  let jitter_noise = Circuit.Process.noise_stream t.chip ~name:"run.jitter" in
-  let jitter_sigma = if cfg.comp_clock_enable then 0.0 else 0.2 in
-  let v_prev = ref 0.0 in
-  (* Decision history for the feedback DAC; fractional loop-delay error
-     is modelled as linear interpolation between history taps (a shifted
-     DAC pulse delivers charge split across two periods). *)
-  let hist_len = 8 in
-  let v_hist = Array.make hist_len 0.0 in
   let d_int = min (hist_len - 2) (int_of_float (Float.floor t.delay_samples)) in
   let d_frac = t.delay_samples -. float_of_int d_int in
   let output = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    (* Forward path first: both resonator outputs depend only on past
-       loop inputs, so no algebraic loop arises. *)
-    let w1 = Circuit.Resonator.output res1 in
-    let w2 = Circuit.Resonator.output res2 in
-    let s = t.preamp_gain *. (w2 +. open_loop_offset) in
-    let v = Circuit.Comparator.step comparator s in
-    (* Shift the decision history and read the (fractionally) delayed
-       feedback value. *)
-    for k = hist_len - 1 downto 1 do
-      v_hist.(k) <- v_hist.(k - 1)
-    done;
-    v_hist.(0) <- v;
-    let v_delayed = ((1.0 -. d_frac) *. v_hist.(d_int)) +. (d_frac *. v_hist.(d_int + 1)) in
-    let fb = if cfg.fb_enable then t.gdac *. (v_delayed +. t.dac_mismatch) else 0.0 in
-    let u =
-      let signal =
-        if cfg.gmin_enable then t.gmin *. Circuit.Nonlinear.apply t.gmin_stage input.(i)
-        else 0.0
+  let fused =
+    cfg.comp_clock_enable && cfg.fb_enable && cfg.gmin_enable
+    && (not cfg.cal_buffer_enable) && comp_noise_sigma > 0.0
+  in
+  if fused then begin
+    (* Pre-fill both per-run noise streams (each stream is private to
+       this run, so batching the draws preserves the exact sequence). *)
+    let ws = Sigkit.Workspace.get () in
+    let comp_buf = Sigkit.Workspace.arr ws ~slot:8 ~len:n in
+    let input_buf = Sigkit.Workspace.arr ws ~slot:9 ~len:n in
+    Sigkit.Rng.gaussian_fill comp_noise comp_buf ~n;
+    Sigkit.Rng.gaussian_fill input_noise input_buf ~n;
+    run_fused t ~n ~comp_noise_sigma ~d_int ~d_frac ~comp_buf ~input_buf input output
+  end
+  else begin
+    (* Generic path: calibration buffer mode, open-loop and ablation
+       configurations.  Same structure as the fused loop but through
+       the circuit modules, with noise drawn sample by sample. *)
+    let res1 = Circuit.Resonator.create ~theta:t.tank1.theta ~r:t.r ~limit:50.0 () in
+    let res2 = Circuit.Resonator.create ~theta:t.tank2.theta ~r:t.r ~limit:50.0 () in
+    let comp_mode =
+      if cfg.comp_clock_enable then Circuit.Comparator.Clocked else Circuit.Comparator.Buffer
+    in
+    let comparator =
+      Circuit.Comparator.create ~mode:comp_mode ~offset:t.comp_offset
+        ~hysteresis:t.comp_hysteresis ~noise:comp_noise ~noise_sigma:comp_noise_sigma ()
+    in
+    (* Opening the feedback loop removes the DAC's DC path that defines
+       the loop filter's operating point: the comparator input floats to
+       a large offset. *)
+    let open_loop_offset = if cfg.fb_enable then 0.0 else 0.5 in
+    (* An unclocked comparator output crosses into the clocked digital
+       domain asynchronously: no retiming, so the effective sampling
+       instant wanders (metastability + clock skew).  ~0.2 samples rms at
+       12 GS/s; first-order jitter error is slope * delta_t.  The clocked
+       path is synchronous and jitter-free. *)
+    let jitter_noise = Circuit.Process.noise_stream t.chip ~name:"run.jitter" in
+    let jitter_sigma = if cfg.comp_clock_enable then 0.0 else 0.2 in
+    let v_prev = ref 0.0 in
+    (* Fractional loop-delay error is modelled as linear interpolation
+       between decision-history taps (a shifted DAC pulse delivers
+       charge split across two periods). *)
+    let hist = Array.make hist_len 0.0 in
+    let head = ref 0 in
+    for i = 0 to n - 1 do
+      (* Forward path first: both resonator outputs depend only on past
+         loop inputs, so no algebraic loop arises. *)
+      let w1 = Circuit.Resonator.output res1 in
+      let w2 = Circuit.Resonator.output res2 in
+      let s = t.preamp_gain *. (w2 +. open_loop_offset) in
+      let v = Circuit.Comparator.step comparator s in
+      let h = (!head + hist_mask) land hist_mask in
+      head := h;
+      hist.(h) <- v;
+      let v_delayed =
+        ((1.0 -. d_frac) *. hist.((h + d_int) land hist_mask))
+        +. (d_frac *. hist.((h + d_int + 1) land hist_mask))
       in
-      signal +. (t.input_noise_sigma *. Sigkit.Rng.gaussian input_noise)
-    in
-    Circuit.Resonator.feed res1 (u -. (k1 *. fb));
-    Circuit.Resonator.feed res2 (w1 -. (k2 *. fb));
-    let v_sampled =
-      if jitter_sigma = 0.0 then v
-      else begin
-        let slope = v -. !v_prev in
-        v_prev := v;
-        v +. (jitter_sigma *. Sigkit.Rng.gaussian jitter_noise *. slope)
-      end
-    in
-    output.(i) <-
-      (if cfg.cal_buffer_enable then 1.2 *. tanh (t.buffer_gain *. v_sampled /. 1.2)
-       else v_sampled)
-  done;
+      let fb = if cfg.fb_enable then t.gdac *. (v_delayed +. t.dac_mismatch) else 0.0 in
+      let u =
+        let signal =
+          if cfg.gmin_enable then t.gmin *. Circuit.Nonlinear.apply t.gmin_stage input.(i)
+          else 0.0
+        in
+        signal +. (t.input_noise_sigma *. Sigkit.Rng.gaussian input_noise)
+      in
+      Circuit.Resonator.feed res1 (u -. (k1 *. fb));
+      Circuit.Resonator.feed res2 (w1 -. (k2 *. fb));
+      let v_sampled =
+        if jitter_sigma = 0.0 then v
+        else begin
+          let slope = v -. !v_prev in
+          v_prev := v;
+          v +. (jitter_sigma *. Sigkit.Rng.gaussian jitter_noise *. slope)
+        end
+      in
+      output.(i) <-
+        (if cfg.cal_buffer_enable then 1.2 *. tanh (t.buffer_gain *. v_sampled /. 1.2)
+         else v_sampled)
+    done
+  end;
   output)

@@ -7,67 +7,46 @@ let next_pow2 n =
 let transforms = Telemetry.Counter.make "fft.transforms"
 let points = Telemetry.Histogram.make "fft.points"
 
-(* In-place iterative Cooley-Tukey.  [sign] is -1 for forward, +1 for
-   inverse (engineering convention: forward kernel e^{-j2πkn/N}). *)
-let transform sign re im =
+let check re im =
   let n = Array.length re in
   if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
   if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
-  Telemetry.Counter.incr transforms;
-  Telemetry.Histogram.observe points (float_of_int n);
-  Telemetry.Span.with_ ~name:"fft.transform" (fun () ->
-  (* Bit-reversal permutation. *)
-  let j = ref 0 in
-  for i = 0 to n - 2 do
-    if i < !j then begin
-      let tr = re.(i) in
-      re.(i) <- re.(!j);
-      re.(!j) <- tr;
-      let ti = im.(i) in
-      im.(i) <- im.(!j);
-      im.(!j) <- ti
-    end;
-    let m = ref (n lsr 1) in
-    while !m >= 1 && !j land !m <> 0 do
-      j := !j lxor !m;
-      m := !m lsr 1
-    done;
-    j := !j lor !m
-  done;
-  (* Butterfly passes. *)
-  let len = ref 2 in
-  while !len <= n do
-    let half = !len / 2 in
-    let angle = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
-    let wr = cos angle and wi = sin angle in
-    let i = ref 0 in
-    while !i < n do
-      let cr = ref 1.0 and ci = ref 0.0 in
-      for k = !i to !i + half - 1 do
-        let tr = (!cr *. re.(k + half)) -. (!ci *. im.(k + half)) in
-        let ti = (!cr *. im.(k + half)) +. (!ci *. re.(k + half)) in
-        re.(k + half) <- re.(k) -. tr;
-        im.(k + half) <- im.(k) -. ti;
-        re.(k) <- re.(k) +. tr;
-        im.(k) <- im.(k) +. ti;
-        let nr = (!cr *. wr) -. (!ci *. wi) in
-        ci := (!cr *. wi) +. (!ci *. wr);
-        cr := nr
-      done;
-      i := !i + !len
-    done;
-    len := !len * 2
-  done)
+  n
 
-let forward re im = transform (-1) re im
+let observe n =
+  Telemetry.Counter.incr transforms;
+  Telemetry.Histogram.observe points (float_of_int n)
+
+let forward re im =
+  let n = check re im in
+  observe n;
+  Telemetry.Span.with_ ~name:"fft.transform" (fun () -> Plan.exec (Plan.get n) re im)
 
 let inverse re im =
-  transform 1 re im;
-  let n = float_of_int (Array.length re) in
-  for i = 0 to Array.length re - 1 do
-    re.(i) <- re.(i) /. n;
-    im.(i) <- im.(i) /. n
+  let n = check re im in
+  observe n;
+  Telemetry.Span.with_ ~name:"fft.transform" (fun () ->
+      Plan.exec_inverse (Plan.get n) re im);
+  let nf = float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) /. nf;
+    im.(i) <- im.(i) /. nf
   done
+
+let real_forward x =
+  let n = Array.length x in
+  if not (is_pow2 n) || n < 2 then
+    invalid_arg "Fft.real_forward: length must be a power of two >= 2";
+  observe n;
+  Telemetry.Span.with_ ~name:"fft.transform" (fun () ->
+      let p = Plan.real_get n in
+      let m = n / 2 in
+      let re = Array.make (m + 1) 0.0 and im = Array.make (m + 1) 0.0 in
+      let ws = Workspace.get () in
+      let scratch_re = Workspace.arr ws ~slot:0 ~len:m in
+      let scratch_im = Workspace.arr ws ~slot:1 ~len:m in
+      Plan.real_forward p x ~re ~im ~scratch_re ~scratch_im;
+      (re, im))
 
 let of_real x = (Array.copy x, Array.make (Array.length x) 0.0)
 

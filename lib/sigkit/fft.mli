@@ -1,8 +1,11 @@
-(** Radix-2 complex fast Fourier transform.
+(** Radix-2 fast Fourier transforms over memoized {!Plan}s.
 
     Operates in place on parallel real/imaginary [float array]s, which
     avoids boxing [Complex.t] in hot loops.  Lengths must be powers of
-    two; {!is_pow2} and {!next_pow2} help callers prepare records. *)
+    two; {!is_pow2} and {!next_pow2} help callers prepare records.
+    Every transform runs off a per-size cached plan (bit-reversal
+    permutation + twiddle tables), so repeated transforms of one size —
+    the measurement pipeline's normal regime — pay no per-call setup. *)
 
 val is_pow2 : int -> bool
 val next_pow2 : int -> int
@@ -15,6 +18,15 @@ val forward : float array -> float array -> unit
 val inverse : float array -> float array -> unit
 (** Inverse transform in place, normalised by 1/N so that
     [inverse (forward x) = x]. *)
+
+val real_forward : float array -> float array * float array
+(** [real_forward x] transforms a real record of power-of-two length
+    [n >= 2] via the packed [n/2] complex transform (half the butterfly
+    work of {!forward}), returning the one-sided spectrum
+    [(re, im)] of length [n/2 + 1] — bins [0 .. n/2], matching the
+    corresponding bins of the full complex transform.  Scratch comes
+    from the calling domain's {!Workspace}; only the result arrays are
+    allocated. *)
 
 val of_real : float array -> float array * float array
 (** Copy a real record into freshly allocated (re, im) arrays. *)

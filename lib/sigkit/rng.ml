@@ -1,6 +1,10 @@
 type t = {
   mutable state : int64;
-  mutable cached_gaussian : float option;
+  (* Unboxed Box-Muller spare: a [float option] here costs one option
+     cell plus one boxed float per pair of draws in the simulator's
+     hottest loop. *)
+  mutable cached : float;
+  mutable has_cached : bool;
   seed : int64;
 }
 
@@ -14,7 +18,7 @@ let mix z =
 
 let create seed =
   let seed64 = mix (Int64.of_int seed) in
-  { state = seed64; cached_gaussian = None; seed = seed64 }
+  { state = seed64; cached = 0.0; has_cached = false; seed = seed64 }
 
 let hash_label label =
   (* FNV-1a over the label bytes, good enough to decorrelate streams. *)
@@ -28,7 +32,8 @@ let hash_label label =
 
 let split t label = {
   state = mix (Int64.logxor t.seed (hash_label label));
-  cached_gaussian = None;
+  cached = 0.0;
+  has_cached = false;
   seed = mix (Int64.add t.seed (hash_label label));
 }
 
@@ -49,11 +54,11 @@ let int_range t lo hi =
 let uniform t lo hi = lo +. (float t *. (hi -. lo))
 
 let gaussian t =
-  match t.cached_gaussian with
-  | Some g ->
-    t.cached_gaussian <- None;
-    g
-  | None ->
+  if t.has_cached then begin
+    t.has_cached <- false;
+    t.cached
+  end
+  else begin
     (* Box-Muller; reject u1 = 0 to keep log finite. *)
     let rec draw_u1 () =
       let u = float t in
@@ -62,8 +67,16 @@ let gaussian t =
     let u1 = draw_u1 () and u2 = float t in
     let radius = sqrt (-2.0 *. log u1) in
     let angle = 2.0 *. Float.pi *. u2 in
-    t.cached_gaussian <- Some (radius *. sin angle);
+    t.cached <- radius *. sin angle;
+    t.has_cached <- true;
     radius *. cos angle
+  end
+
+let gaussian_fill t buf ~n =
+  if n > Array.length buf then invalid_arg "Rng.gaussian_fill: n exceeds buffer";
+  for i = 0 to n - 1 do
+    Array.unsafe_set buf i (gaussian t)
+  done
 
 let gaussian_scaled t ~mean ~sigma = mean +. (sigma *. gaussian t)
 

@@ -32,7 +32,14 @@ val uniform : t -> float -> float -> float
 (** [uniform t lo hi] draws uniformly from [lo, hi). *)
 
 val gaussian : t -> float
-(** Standard normal draw (Box-Muller, cached pair). *)
+(** Standard normal draw (Box-Muller, cached pair; the spare is kept in
+    an unboxed mutable field, so draws allocate nothing). *)
+
+val gaussian_fill : t -> float array -> n:int -> unit
+(** [gaussian_fill t buf ~n] fills [buf.(0 .. n-1)] with standard
+    normal draws — the same sequence [n] calls to {!gaussian} would
+    produce.  Lets hot loops pre-fill per-run noise buffers.  Raises
+    [Invalid_argument] if [n] exceeds the buffer length. *)
 
 val gaussian_scaled : t -> mean:float -> sigma:float -> float
 (** Normal draw with the given mean and standard deviation. *)

@@ -5,25 +5,44 @@ type t = {
   window : Window.kind;
 }
 
+let periodograms = Telemetry.Counter.make "spectrum.periodograms"
+
+(* The whole pipeline — window, pack, real FFT, one-sided fold — runs
+   in the calling domain's workspace; only the returned [power] array
+   is allocated.  The seed path allocated 5+ arrays per call (record
+   copy, windowed copy, re/im pair, |X|^2) and ran a full complex
+   transform where the packed n/2 one suffices for real input. *)
 let periodogram ?(window = Window.Hann) ~fs x =
+  Telemetry.Counter.incr periodograms;
+  Telemetry.Span.with_ ~name:"spectrum.periodogram" (fun () ->
   let n =
     let len = Array.length x in
     if Fft.is_pow2 len then len else Fft.next_pow2 len / 2
   in
   if n < 2 then invalid_arg "Spectrum.periodogram: record too short";
-  let record = Array.sub x 0 n in
-  let windowed = Window.apply window record in
-  let re, im = Fft.of_real windowed in
-  Fft.forward re im;
-  let mag2 = Fft.magnitude_squared re im in
+  let m = n / 2 in
+  let half = m + 1 in
+  let ws = Workspace.get () in
+  let w = Window.table window n in
+  let zre = Workspace.arr ws ~slot:2 ~len:m in
+  let zim = Workspace.arr ws ~slot:3 ~len:m in
+  (* Windowing fused with the even/odd packing of the real transform. *)
+  for k = 0 to m - 1 do
+    let e = 2 * k in
+    Array.unsafe_set zre k (Array.unsafe_get x e *. Array.unsafe_get w e);
+    Array.unsafe_set zim k (Array.unsafe_get x (e + 1) *. Array.unsafe_get w (e + 1))
+  done;
+  let re = Workspace.arr ws ~slot:4 ~len:half in
+  let im = Workspace.arr ws ~slot:5 ~len:half in
+  Plan.real_forward_packed (Plan.real_get n) ~packed_re:zre ~packed_im:zim ~re ~im;
   (* One-sided: double interior bins to account for negative frequencies. *)
-  let half = (n / 2) + 1 in
-  let power =
-    Array.init half (fun k ->
-        let p = mag2.(k) in
-        if k = 0 || k = n / 2 then p else 2.0 *. p)
-  in
-  { power; fs; n; window }
+  let power = Array.make half 0.0 in
+  for k = 0 to half - 1 do
+    let xr = Array.unsafe_get re k and xi = Array.unsafe_get im k in
+    let p = (xr *. xr) +. (xi *. xi) in
+    Array.unsafe_set power k (if k = 0 || k = m then p else 2.0 *. p)
+  done;
+  { power; fs; n; window })
 
 let bin_of_freq t f =
   let k = int_of_float (Float.round (f *. float_of_int t.n /. t.fs)) in

@@ -14,15 +14,31 @@ let cosine_sum terms n =
   done;
   w
 
-let coefficients kind n =
+let build kind n =
   match kind with
   | Rectangular -> Array.make n 1.0
   | Hann -> cosine_sum [ 0.5; -0.5 ] n
   | Hamming -> cosine_sum [ 0.54; -0.46 ] n
   | Blackman_harris -> cosine_sum [ 0.35875; -0.48829; 0.14128; -0.01168 ] n
 
+(* Coefficient tables are immutable once built and shared across
+   domains; the mutex only guards the memo table itself. *)
+let lock = Mutex.create ()
+let tables : (kind * int, float array) Hashtbl.t = Hashtbl.create 16
+
+let table kind n =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt tables (kind, n) with
+      | Some w -> w
+      | None ->
+        let w = build kind n in
+        Hashtbl.add tables (kind, n) w;
+        w)
+
+let coefficients kind n = Array.copy (table kind n)
+
 let apply kind x =
-  let w = coefficients kind (Array.length x) in
+  let w = table kind (Array.length x) in
   Array.mapi (fun i xi -> xi *. w.(i)) x
 
 let coherent_gain = function

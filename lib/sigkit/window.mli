@@ -10,8 +10,16 @@ type kind =
   | Hamming
   | Blackman_harris  (** 4-term, -92 dB sidelobes *)
 
+val table : kind -> int -> float array
+(** [table kind n] returns the memoized coefficient table for
+    [(kind, n)]: repeated calls return the {e same physical array}, so
+    hot measurement loops pay the trigonometry once per size.  The
+    array is shared (including across domains) and must not be
+    mutated; use {!coefficients} for a private copy. *)
+
 val coefficients : kind -> int -> float array
-(** [coefficients kind n] returns the [n] window samples. *)
+(** [coefficients kind n] returns a fresh copy of the [n] window
+    samples (safe to mutate). *)
 
 val apply : kind -> float array -> float array
 (** Pointwise multiplication of a signal record by the window. *)

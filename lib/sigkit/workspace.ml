@@ -1,0 +1,24 @@
+type t = { slots : (int, float array) Hashtbl.t }
+
+(* A plain atomic, not a telemetry counter: memo misses happen once per
+   process, so they would make otherwise identical workloads leave
+   different counter snapshots (breaking telemetry determinism). *)
+let allocs = Atomic.make 0
+
+let key = Domain.DLS.new_key (fun () -> { slots = Hashtbl.create 16 })
+
+let get () = Domain.DLS.get key
+
+let arr t ~slot ~len =
+  if slot < 0 || slot > 15 then invalid_arg "Workspace.arr: slot must be in 0..15";
+  if len < 0 then invalid_arg "Workspace.arr: negative length";
+  let k = (len lsl 4) lor slot in
+  match Hashtbl.find_opt t.slots k with
+  | Some a -> a
+  | None ->
+    Atomic.incr allocs;
+    let a = Array.make len 0.0 in
+    Hashtbl.add t.slots k a;
+    a
+
+let allocations () = Atomic.get allocs

@@ -1,0 +1,35 @@
+(** Domain-local scratch arenas for zero-allocation hot paths.
+
+    Measurement kernels (periodogram, real FFT, the fused modulator
+    loop) need several same-sized float arrays per call.  Allocating
+    them fresh per measurement is what made the seed periodogram cost
+    5+ arrays per call.  A workspace hands out arrays keyed by
+    [(slot, length)], reusing them across calls.
+
+    Thread-safety contract: the arena is stored in {!Domain.DLS}, so
+    each domain of the engine's pool owns a private workspace and no
+    locking is needed.  Arrays returned by {!arr} are only valid until
+    the next call with the same slot and length {e on the same domain};
+    callers must fully overwrite them before reading and must not
+    retain them across yields to other work wanting the same slot.
+    Data returned to callers (e.g. [Spectrum.t.power]) must be copied
+    out into fresh arrays.
+
+    Slot discipline (keeps concurrent users of one domain apart):
+    0-1 [Fft] convenience wrappers, 2-6 [Spectrum], 8-10 [Rfchain.Sdm],
+    11-14 free for callers, 15 tests. *)
+
+type t
+
+val get : unit -> t
+(** The calling domain's workspace (created on first use). *)
+
+val arr : t -> slot:int -> len:int -> float array
+(** [arr t ~slot ~len] returns the scratch array for [(slot, len)],
+    allocating it on first use.  Contents are unspecified.  [slot] must
+    be in [0..15].  The same physical array is returned for repeated
+    calls with equal arguments on the same domain. *)
+
+val allocations : unit -> int
+(** Process-wide count of scratch arrays materialised so far; a steady
+    value under load means the hot path has stopped allocating. *)
