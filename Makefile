@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke bench-json bench-json-fast ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke bench-json bench-json-fast ci clean
 
 all: build
 
@@ -56,6 +56,23 @@ engine-smoke:
 	dune exec bin/repro.exe -- fig10 --seed 42 --standard bluetooth --jobs 4 > /tmp/fig10-jobs4.out
 	cmp /tmp/fig10-jobs1.out /tmp/fig10-jobs4.out
 
+# Crash-safe resume: journal a campaign to a checkpoint, SIGINT it
+# mid-flight, resume from the journal, and require the resumed report
+# to be byte-identical to an uninterrupted run.  The interrupted run
+# may legitimately finish before the signal lands (exit 0); what must
+# never happen is a corrupt journal or a drifted resumed report.
+resume-smoke: build
+	rm -f /tmp/resume.ckpt.jsonl
+	dune exec bin/repro.exe -- faults --seed 42 --standard bluetooth --json > /tmp/resume-fresh.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json \
+	  --checkpoint /tmp/resume.ckpt.jsonl > /tmp/resume-interrupted.out & \
+	pid=$$!; sleep 1; kill -INT $$pid 2>/dev/null || true; \
+	wait $$pid; status=$$?; test $$status -eq 130 -o $$status -eq 0
+	grep -q '"type":"cell"' /tmp/resume.ckpt.jsonl
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json \
+	  --checkpoint /tmp/resume.ckpt.jsonl --resume > /tmp/resume-resumed.out
+	cmp /tmp/resume-fresh.out /tmp/resume-resumed.out
+
 # Perf trajectory: re-measure the Bechamel kernels and rewrite
 # BENCH_4.json (full quota; commit the result).  The -fast variant is
 # what CI runs on every push — shorter quota, same JSON schema.
@@ -65,7 +82,7 @@ bench-json:
 bench-json-fast:
 	dune exec bench/main.exe -- --quick --fast --json
 
-ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke
+ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke
 
 clean:
 	dune clean

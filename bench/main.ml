@@ -178,6 +178,39 @@ let telemetry_bench_counter = Telemetry.Counter.make "bench.telemetry_probe"
 let bench_span_disabled () = Telemetry.Span.with_ ~name:"bench.disabled" (fun () -> ())
 let bench_counter_incr () = Telemetry.Counter.incr telemetry_bench_counter
 
+(* Cancellation-point cost: what every 4096-sample poll window pays in
+   the simulator inner loops (no token installed, no interrupt — the
+   common case). *)
+let bench_cancel_poll () =
+  for _ = 1 to 1_000 do
+    Telemetry.Cancel.poll ()
+  done
+
+(* Checkpoint record cost: serialise + write + flush + fsync of one
+   journal line, the per-cell durability price a checkpointed campaign
+   pays.  Keys rotate so the dedup check never short-circuits the
+   write. *)
+let checkpoint_fixture =
+  lazy
+    (let path = Filename.temp_file "bench_ckpt" ".jsonl" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     match Engine.Checkpoint.load ~resume:false path with
+     | Ok cp -> cp
+     | Error c -> failwith (Engine.Checkpoint.corruption_to_string c))
+
+let checkpoint_key_seq = ref 0
+
+let bench_checkpoint_record () =
+  let cp = Lazy.force checkpoint_fixture in
+  incr checkpoint_key_seq;
+  Engine.Checkpoint.record cp
+    (Printf.sprintf "bench|%d" !checkpoint_key_seq)
+    {
+      Engine.Cache.measurement =
+        { Metrics.Spec.snr_mod_db = 12.5; snr_rx_db = 9.25; sfdr_db = Some 44.0 };
+      trial_cost = 1;
+    }
+
 let tests =
   [
     Test.make ~name:"kernel:fft-8192" (Staged.stage bench_fft);
@@ -202,6 +235,8 @@ let tests =
     Test.make ~name:"engine:batch8-4domains" (Staged.stage (bench_engine_batch engine_pool4));
     Test.make ~name:"telemetry:span-disabled" (Staged.stage bench_span_disabled);
     Test.make ~name:"telemetry:counter-incr" (Staged.stage bench_counter_incr);
+    Test.make ~name:"telemetry:cancel-poll-1k" (Staged.stage bench_cancel_poll);
+    Test.make ~name:"engine:checkpoint-record" (Staged.stage bench_checkpoint_record);
   ]
 
 let bench_json_file = "BENCH_4.json"

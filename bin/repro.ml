@@ -55,11 +55,18 @@ let telemetry_term =
   in
   Term.(const setup $ metrics_arg $ trace_arg $ trace_jsonl_arg)
 
+(* The CLI's --deadline, stashed so commands with their own supervised
+   run loop (faults) can thread it as a typed campaign deadline rather
+   than relying only on the engine-wide token. *)
+let cli_deadline_s : float option ref = ref None
+
 (* Engine plumbing shared by every subcommand: `--jobs N` selects the
    multicore backend (N >= 2 hands batched evaluations to a fixed pool
    of N-1 worker domains plus the caller; results are byte-identical to
-   `--jobs 1`), and `--no-cache` disables the content-addressed result
-   cache (every evaluation re-runs the simulator). *)
+   `--jobs 1`), `--no-cache` disables the content-addressed result
+   cache (every evaluation re-runs the simulator), `--checkpoint FILE`
+   journals every completed evaluation (with `--resume` replaying an
+   existing journal), and `--deadline SECONDS` bounds the whole run. *)
 let engine_term =
   let jobs_arg =
     let doc =
@@ -71,14 +78,59 @@ let engine_term =
     let doc = "Disable the evaluation result cache (re-simulate every request)." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
-  let setup jobs no_cache =
+  let checkpoint_arg =
+    let doc =
+      "Journal every completed evaluation to $(docv) (append-only JSON lines, fsync'd per \
+       record).  An interrupted run can be resumed with $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Replay the completed evaluations of an existing $(b,--checkpoint) journal instead of \
+       truncating it; only missing cells are recomputed.  The final output is byte-identical \
+       to an uninterrupted run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Abort the run once $(docv) seconds of wall clock have passed; in-flight evaluations \
+       stop at their next cancellation poll and completed work stays journalled."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let setup jobs no_cache checkpoint resume deadline =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
       exit 2
     end;
-    Engine.Service.configure ~jobs ~cache:(not no_cache) ()
+    (match deadline with
+    | Some d when d <= 0.0 ->
+      Printf.eprintf "--deadline must be positive (got %g)\n" d;
+      exit 2
+    | _ -> ());
+    if resume && checkpoint = None then begin
+      Printf.eprintf "--resume requires --checkpoint FILE\n";
+      exit 2
+    end;
+    let checkpoint =
+      match checkpoint with
+      | None -> None
+      | Some path -> (
+        match Engine.Checkpoint.load ~resume path with
+        | Ok cp ->
+          at_exit (fun () -> Engine.Checkpoint.close cp);
+          Some cp
+        | Error { Engine.Checkpoint.path; line; reason } ->
+          Printf.eprintf "%s\n"
+            (Faults.Error.to_string (Faults.Error.Checkpoint_corrupt { path; line; reason }));
+          exit 2)
+    in
+    cli_deadline_s := deadline;
+    Engine.Service.configure ~jobs ~cache:(not no_cache) ?checkpoint ?deadline_s:deadline ()
   in
-  Term.(const setup $ jobs_arg $ no_cache_arg)
+  Term.(const setup $ jobs_arg $ no_cache_arg $ checkpoint_arg $ resume_arg $ deadline_arg)
 
 (* One combined setup hook so subcommand signatures stay `run ()`. *)
 let setup_term = Term.(const (fun () () -> ()) $ telemetry_term $ engine_term)
@@ -152,16 +204,25 @@ let lot () _fast seed standard =
   Printf.printf "calibrating an 8-die lot (seed base %d) ...\n%!" seed;
   Experiments.Lot_study.print (Experiments.Lot_study.run ~seed_base:seed standard_t)
 
-let faults () seed standard dies json =
+let faults () seed standard dies json interrupt_after =
   (* The campaign layer is exception-free by construction: every
-     failure mode comes back as data and the command exits 0, printing
-     the degraded reports it found. *)
-  match Faults.Campaign.run_by_name ~dies ~seed standard with
+     failure mode comes back as data — degraded calibrations print and
+     exit 0, a deadline returns a typed error (exit 3), and an
+     interrupt yields a partial report marked incomplete (exit 130,
+     like the signal). *)
+  match
+    Faults.Campaign.run_by_name ~dies ~seed ?deadline_s:!cli_deadline_s ?interrupt_after
+      standard
+  with
+  | Error (Faults.Error.Deadline_exceeded _ as e) ->
+    Printf.eprintf "%s\n" (Faults.Error.to_string e);
+    exit 3
   | Error e ->
     Printf.eprintf "%s\n" (Faults.Error.to_string e);
     exit 2
   | Ok campaign ->
-    if json then Faults.Report.print_json campaign else Faults.Report.print campaign
+    if json then Faults.Report.print_json campaign else Faults.Report.print campaign;
+    if not (Faults.Campaign.complete campaign) then exit 130
 
 let onchip () fast seed standard =
   let ctx = context ~fast ~seed ~standard in
@@ -284,11 +345,20 @@ let commands =
        let doc = "Emit machine-readable JSON lines instead of ASCII tables." in
        Arg.(value & flag & info [ "json" ] ~doc)
      in
+     let interrupt_after_arg =
+       let doc =
+         "Testing hook: inject a deterministic interrupt after exactly $(docv) evaluated \
+          cells, as if SIGINT had arrived there."
+       in
+       Arg.(value & opt (some int) None & info [ "interrupt-after" ] ~docv:"N" ~doc)
+     in
      Cmd.v
        (Cmd.info "faults"
           ~doc:"Fault-injection stress campaign: lock margins, bit-corruption cliff, degraded \
                 calibration")
-       Term.(const faults $ setup_term $ seed_arg $ standard_arg $ dies_arg $ json_arg));
+       Term.(
+         const faults $ setup_term $ seed_arg $ standard_arg $ dies_arg $ json_arg
+         $ interrupt_after_arg));
     cmd_of "avalanche" "SNR collapse vs key Hamming distance; per-bit key strength" avalanche;
     cmd_of "generality" "Second case study: fabric locking on a 24-bit baseband AFE" generality;
     cmd_of "profile"
@@ -299,9 +369,34 @@ let commands =
       Term.(const all $ setup_term $ fast_arg $ seed_arg $ standard_arg $ keys_arg $ budget_arg);
   ]
 
+(* First ^C requests a cooperative stop: every simulator loop raises at
+   its next poll, the campaign layers flush what they have (journalled
+   work is already fsync'd) and print a partial report.  A second ^C
+   gives up on cooperation and exits immediately. *)
+let sigint_seen = ref false
+
+let install_sigint () =
+  match Sys.signal Sys.sigint
+          (Sys.Signal_handle
+             (fun _ ->
+               if !sigint_seen then exit 130
+               else begin
+                 sigint_seen := true;
+                 Telemetry.Cancel.interrupt ~reason:"SIGINT" ()
+               end))
+  with
+  | _ -> ()
+  | exception Invalid_argument _ -> () (* no SIGINT on this platform *)
+
 let () =
+  install_sigint ();
   let info =
     Cmd.info "repro" ~version:"1.0.0"
       ~doc:"Reproduction of 'Securing Programmable Analog ICs Against Piracy' (DATE 2020)"
   in
-  exit (Cmd.eval (Cmd.group info commands))
+  (* ~catch:false so a cancellation that no supervised layer converted
+     to data surfaces here instead of as a cmdliner backtrace. *)
+  try exit (Cmd.eval ~catch:false (Cmd.group info commands))
+  with Telemetry.Cancel.Cancelled reason ->
+    Printf.eprintf "\ninterrupted: %s\n" reason;
+    exit (if reason = Telemetry.Cancel.deadline_reason then 3 else 130)

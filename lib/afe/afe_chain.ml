@@ -63,8 +63,13 @@ let run t (config : Afe_config.t) input =
   let x1 = ref 0.0 and x2 = ref 0.0 and y1 = ref 0.0 and y2 = ref 0.0 in
   let noise = Circuit.Process.noise_stream t.chip ~name:"afe.run" in
   let offset = residual_offset_v t config in
+  (* Step hook: the AFE capture is a cancellation point on the same
+     4096-sample cadence as the sigma-delta loop. *)
+  let tick = ref 0 in
   Array.map
     (fun x ->
+      Telemetry.Cancel.tick_poll !tick;
+      incr tick;
       let amplified = Circuit.Nonlinear.apply pga (x +. (t.noise_sigma *. Sigkit.Rng.gaussian noise)) in
       let y =
         ((b0 *. amplified) +. (b1 *. !x1) +. (b2 *. !x2) -. (a1 *. !y1) -. (a2 *. !y2)) /. a0

@@ -197,39 +197,45 @@ let dead_report ~log ~measurements =
     log;
   }
 
+(* The retry loop is the engine's generic deterministic
+   retry-with-escalation policy: each retry runs one more refinement
+   pass over the wide probe ladder, a silent tank is terminal, and the
+   error folded across attempts is the best (smallest) spec shortfall
+   seen — ties keep the earlier attempt, matching the original
+   hand-rolled loop exactly. *)
 let run ?(passes = 2) ?(refine_sfdr = true) ?(max_retries = 2) rx =
   Telemetry.Span.with_ ~name:"calibrate.run" @@ fun () ->
-  let rec go k best_shortfall =
-    (* Retry k escalates both the cycle count and the probe ladder: a
-       marginal die gets a longer, wider search before we give up. *)
-    if k > 0 then Telemetry.Counter.incr retries_counter;
-    let offsets = if k = 0 then default_offsets else wide_offsets in
-    match attempt_with ~passes:(passes + k) ~refine_sfdr ~offsets rx with
-    | Ok report ->
-      Telemetry.Counter.incr converged_counter;
-      { report; verdict = Converged; attempts = k + 1 }
-    | Error (Tank_dead { log; measurements }) ->
-      (* No amount of re-running steps 1-7 revives a silent tank. *)
-      Telemetry.Counter.incr tank_dead_counter;
-      let report = dead_report ~log ~measurements in
-      { report; verdict = Degraded (Tank_dead { log; measurements }); attempts = k + 1 }
-    | Error (Spec_shortfall { report; shortfall_db } as f) ->
-      let best_shortfall =
-        match best_shortfall with
-        | Some (_, best_db) when best_db <= shortfall_db -> best_shortfall
-        | _ -> Some (f, shortfall_db)
-      in
-      if k < max_retries then go (k + 1) best_shortfall
-      else begin
-        Telemetry.Counter.incr spec_shortfall_counter;
-        let failure, _ = Option.get best_shortfall in
-        let report =
-          match failure with Spec_shortfall { report; _ } -> report | Tank_dead _ -> report
-        in
-        { report; verdict = Degraded failure; attempts = k + 1 }
-      end
+  let policy =
+    Engine.Retry.policy ~max_attempts:(max_retries + 1)
+      ~initial:(passes, default_offsets)
+      ~escalate:(fun ~attempt:_ (p, _) -> (p + 1, wide_offsets))
+      ()
   in
-  go 0 None
+  let retryable = function Tank_dead _ -> false | Spec_shortfall _ -> true in
+  let keep prev last =
+    match prev, last with
+    | Spec_shortfall { shortfall_db = a; _ }, Spec_shortfall { shortfall_db = b; _ } ->
+      if a <= b then prev else last
+    | _, Tank_dead _ -> last
+    | Tank_dead _, _ -> prev (* unreachable: tank death is terminal *)
+  in
+  let o =
+    Engine.Retry.run ~retryable ~keep policy (fun ~attempt (p, offsets) ->
+        if attempt > 1 then Telemetry.Counter.incr retries_counter;
+        attempt_with ~passes:p ~refine_sfdr ~offsets rx)
+  in
+  match o.Engine.Retry.result with
+  | Ok report ->
+    Telemetry.Counter.incr converged_counter;
+    { report; verdict = Converged; attempts = o.Engine.Retry.attempts }
+  | Error (Tank_dead { log; measurements } as f) ->
+    (* No amount of re-running steps 1-7 revives a silent tank. *)
+    Telemetry.Counter.incr tank_dead_counter;
+    let report = dead_report ~log ~measurements in
+    { report; verdict = Degraded f; attempts = o.Engine.Retry.attempts }
+  | Error (Spec_shortfall { report; _ } as f) ->
+    Telemetry.Counter.incr spec_shortfall_counter;
+    { report; verdict = Degraded f; attempts = o.Engine.Retry.attempts }
 
 let quick rx =
   let outcome = run ~passes:1 ~refine_sfdr:false ~max_retries:0 rx in

@@ -1,0 +1,368 @@
+(* Crash-safe evaluation journal.
+
+   An append-only JSONL file, one line per completed evaluation,
+   content-keyed by the request's cache key.  Every record is flushed
+   and fsync'd before [record] returns, so the journal is exactly the
+   set of evaluations that completed — a resumed campaign replays those
+   cells (value and trial cost, bit-identical: floats are stored as
+   exact hexadecimal literals) and computes only what is missing.
+
+   Crash tolerance: a process killed mid-write leaves at most one torn
+   final line; [load ~resume:true] drops it (and truncates the file
+   back to the last good record) and counts [engine.checkpoint.torn].
+   A malformed line anywhere *before* the end is not a crash artefact
+   and is reported as corruption instead of being silently skipped.
+
+   The journal is shared by every evaluation lane: [record] and [find]
+   are mutex-protected, so pool worker domains journal their own
+   completions directly (which is what makes a SIGINT mid-batch lose
+   nothing that finished). *)
+
+type corruption = {
+  path : string;
+  line : int;
+  reason : string;
+}
+
+type t = {
+  path : string;
+  table : (string, Cache.value) Hashtbl.t;
+  m : Mutex.t;
+  mutable oc : out_channel option;
+}
+
+let version = 1
+
+let hits_counter = Telemetry.Counter.make "engine.checkpoint.hits"
+let records_counter = Telemetry.Counter.make "engine.checkpoint.records"
+let resumed_counter = Telemetry.Counter.make "engine.checkpoint.resumed"
+let torn_counter = Telemetry.Counter.make "engine.checkpoint.torn"
+
+(* ------------------------------------------------------- serialisation *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let header_line = Printf.sprintf {|{"type":"journal","version":%d}|} version
+
+(* Floats as OCaml hexadecimal literals ("%h"): exact round-trip
+   through [float_of_string] for every finite value and the infinities,
+   which is what makes a resumed report byte-identical to an
+   uninterrupted one.  "%h" collapses nan payloads, though ("nan" reads
+   back with a different sign/payload than the 0/0 default), so nans
+   are journalled as their raw bit pattern instead. *)
+let float_repr x =
+  if Float.is_nan x then Printf.sprintf "bits:%016Lx" (Int64.bits_of_float x)
+  else Printf.sprintf "%h" x
+
+let float_of_repr s =
+  if String.length s >= 5 && String.sub s 0 5 = "bits:" then
+    Int64.float_of_bits (Int64.of_string ("0x" ^ String.sub s 5 (String.length s - 5)))
+  else float_of_string s
+
+let entry_line key (v : Cache.value) =
+  let m = v.Cache.measurement in
+  Printf.sprintf {|{"type":"cell","key":"%s","snr_mod":"%s","snr_rx":"%s","sfdr":%s,"cost":%d}|}
+    (escape key)
+    (float_repr m.Metrics.Spec.snr_mod_db)
+    (float_repr m.Metrics.Spec.snr_rx_db)
+    (match m.Metrics.Spec.sfdr_db with
+    | None -> "null"
+    | Some x -> Printf.sprintf {|"%s"|} (float_repr x))
+    v.Cache.trial_cost
+
+(* ------------------------------------------------------------- parsing *)
+
+(* Minimal parser for the journal's own flat-object lines: string, null
+   and integer values only.  Anything else is a parse failure — the
+   journal never emits it. *)
+
+type jv = S of string | I of int | Null
+
+exception Bad of string
+
+let parse_fields line =
+  let n = String.length line in
+  let i = ref 0 in
+  let skip_ws () =
+    while !i < n && (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r') do incr i done
+  in
+  let expect c =
+    skip_ws ();
+    if !i < n && line.[!i] = c then incr i
+    else raise (Bad (Printf.sprintf "expected '%c' at byte %d" c !i))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !i >= n then raise (Bad "unterminated string");
+      let c = line.[!i] in
+      incr i;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !i >= n then raise (Bad "truncated escape");
+        let e = line.[!i] in
+        incr i;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !i + 4 > n then raise (Bad "truncated \\u escape");
+          let code =
+            try int_of_string ("0x" ^ String.sub line !i 4)
+            with _ -> raise (Bad "bad \\u escape")
+          in
+          i := !i + 4;
+          Buffer.add_char buf (Char.chr (code land 0xff))
+        | _ -> raise (Bad "unknown escape"));
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_value () =
+    skip_ws ();
+    if !i >= n then raise (Bad "missing value")
+    else if line.[!i] = '"' then S (parse_string ())
+    else if !i + 4 <= n && String.sub line !i 4 = "null" then begin
+      i := !i + 4;
+      Null
+    end
+    else begin
+      let start = !i in
+      if !i < n && line.[!i] = '-' then incr i;
+      while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do incr i done;
+      if !i = start then raise (Bad "unrecognised value");
+      I (int_of_string (String.sub line start (!i - start)))
+    end
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !i < n && line.[!i] = '}' then incr i
+  else begin
+    let parsing = ref true in
+    while !parsing do
+      let k = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      if !i < n && line.[!i] = ',' then incr i
+      else begin
+        expect '}';
+        parsing := false
+      end
+    done
+  end;
+  skip_ws ();
+  if !i <> n then raise (Bad "trailing bytes after object");
+  List.rev !fields
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+
+let float_of_jv name = function
+  | S s -> (try float_of_repr s with _ -> raise (Bad (Printf.sprintf "bad float in %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "field %S must be a float string" name))
+
+let parse_entry line =
+  let fields = parse_fields line in
+  match field fields "type" with
+  | S "cell" ->
+    let key =
+      match field fields "key" with
+      | S k -> k
+      | _ -> raise (Bad "field \"key\" must be a string")
+    in
+    let snr_mod_db = float_of_jv "snr_mod" (field fields "snr_mod") in
+    let snr_rx_db = float_of_jv "snr_rx" (field fields "snr_rx") in
+    let sfdr_db =
+      match field fields "sfdr" with
+      | Null -> None
+      | v -> Some (float_of_jv "sfdr" v)
+    in
+    let trial_cost =
+      match field fields "cost" with
+      | I c when c >= 0 -> c
+      | _ -> raise (Bad "field \"cost\" must be a non-negative integer")
+    in
+    ( key,
+      { Cache.measurement = { Metrics.Spec.snr_mod_db; snr_rx_db; sfdr_db }; trial_cost } )
+  | S other -> raise (Bad (Printf.sprintf "unknown record type %S" other))
+  | _ -> raise (Bad "field \"type\" must be a string")
+
+let parse_header line =
+  let fields = parse_fields line in
+  (match field fields "type" with
+  | S "journal" -> ()
+  | _ -> raise (Bad "not a journal header"));
+  match field fields "version" with
+  | I v when v = version -> ()
+  | I v -> raise (Bad (Printf.sprintf "unsupported journal version %d" v))
+  | _ -> raise (Bad "field \"version\" must be an integer")
+
+(* --------------------------------------------------------- open / load *)
+
+let fresh_channel path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  output_string oc header_line;
+  output_char oc '\n';
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  oc
+
+(* Split raw journal bytes into complete lines plus the end offset of
+   the last *parseable* prefix, so a torn tail can be truncated away
+   before appending resumes. *)
+let load ~resume path =
+  let table = Hashtbl.create 256 in
+  let fresh () =
+    Ok { path; table; m = Mutex.create (); oc = Some (fresh_channel path) }
+  in
+  if not resume then fresh ()
+  else if not (Sys.file_exists path) then fresh ()
+  else begin
+    let raw = In_channel.with_open_bin path In_channel.input_all in
+    if String.length raw = 0 then fresh ()
+    else begin
+      (* Lines with their end offsets (offset just past the '\n'); a
+         trailing fragment without '\n' is kept as a final, torn-marked
+         line. *)
+      let lines = ref [] in
+      let start = ref 0 in
+      String.iteri (fun i c -> if c = '\n' then begin
+          lines := (String.sub raw !start (i - !start), i + 1, true) :: !lines;
+          start := i + 1
+        end) raw;
+      if !start < String.length raw then
+        lines := (String.sub raw !start (String.length raw - !start), String.length raw, false)
+                 :: !lines;
+      let lines = Array.of_list (List.rev !lines) in
+      let n_lines = Array.length lines in
+      let good_end = ref 0 in
+      let result = ref None in
+      (try
+         Array.iteri
+           (fun idx (line, end_off, terminated) ->
+             let last = idx = n_lines - 1 in
+             if not terminated then begin
+               (* No trailing newline: the write was cut mid-line.  Even
+                  if the bytes happen to parse, the record never became
+                  durable — drop it so the table matches what stays on
+                  disk after truncation. *)
+               ignore end_off;
+               Telemetry.Counter.incr torn_counter;
+               raise Exit
+             end;
+             try
+               if idx = 0 then parse_header line
+               else begin
+                 let key, value = parse_entry line in
+                 if not (Hashtbl.mem table key) then begin
+                   Hashtbl.replace table key value;
+                   Telemetry.Counter.incr resumed_counter
+                 end
+               end;
+               good_end := end_off
+             with Bad reason ->
+               if last && idx > 0 then begin
+                 (* Torn final write from a crash that still got its
+                    newline out: drop it.  The header never qualifies —
+                    it is fsync'd before any record is accepted, so a
+                    malformed line 1 is corruption, not a crash. *)
+                 Telemetry.Counter.incr torn_counter;
+                 raise Exit
+               end
+               else begin
+                 result := Some { path; line = idx + 1; reason };
+                 raise Exit
+               end)
+           lines
+       with Exit -> ());
+      match !result with
+      | Some corruption -> Error corruption
+      | None ->
+        (* Truncate back to the last fully-terminated good line, then
+           reopen for append. *)
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd !good_end;
+        Unix.close fd;
+        let oc =
+          if !good_end = 0 then fresh_channel path
+          else open_out_gen [ Open_wronly; Open_append ] 0o644 path
+        in
+        Ok { path; table; m = Mutex.create (); oc = Some oc }
+    end
+  end
+
+(* ------------------------------------------------------------ journal *)
+
+let find t key =
+  Mutex.lock t.m;
+  let r = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.m;
+  if r <> None then Telemetry.Counter.incr hits_counter;
+  r
+
+let record t key value =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key value;
+        match t.oc with
+        | None -> ()
+        | Some oc ->
+          output_string oc (entry_line key value);
+          output_char oc '\n';
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc);
+          Telemetry.Counter.incr records_counter
+      end)
+
+let entries t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.m;
+  n
+
+let path t = t.path
+
+let close t =
+  Mutex.lock t.m;
+  (match t.oc with
+  | None -> ()
+  | Some oc ->
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+    close_out oc;
+    t.oc <- None);
+  Mutex.unlock t.m
+
+let corruption_to_string { path; line; reason } =
+  Printf.sprintf "checkpoint %s corrupt at line %d: %s" path line reason

@@ -1,0 +1,43 @@
+(** Crash-safe evaluation journal (checkpoint/resume).
+
+    An append-only JSONL file, one fsync'd line per completed
+    evaluation, content-keyed by {!Request.cache_key}.  The evaluation
+    service consults it like a second, persistent cache level: a
+    resumed run replays exactly the cells that finished before the
+    crash or interrupt — values bit-identical (floats stored as exact
+    hexadecimal literals) and trial costs re-charged to the odometers —
+    and computes only the rest.
+
+    A torn final line (the signature of a process killed mid-write) is
+    dropped, counted in [engine.checkpoint.torn], and truncated away;
+    a malformed line anywhere earlier is corruption and refuses to
+    load. *)
+
+type t
+
+type corruption = {
+  path : string;
+  line : int;  (** 1-based line number of the malformed record *)
+  reason : string;
+}
+
+val load : resume:bool -> string -> (t, corruption) result
+(** Open a journal at [path].  [resume:false] truncates and starts
+    fresh; [resume:true] replays an existing journal (a missing or
+    empty file starts fresh) and appends after the last good record. *)
+
+val find : t -> string -> Cache.value option
+(** Replay lookup (mutex-protected; counts [engine.checkpoint.hits]). *)
+
+val record : t -> string -> Cache.value -> unit
+(** Journal a completed evaluation: append one line, flush, fsync.
+    Idempotent per key.  Safe from any domain. *)
+
+val entries : t -> int
+val path : t -> string
+
+val close : t -> unit
+(** Flush, fsync and close the backing file; the in-memory replay table
+    stays usable. *)
+
+val corruption_to_string : corruption -> string

@@ -7,7 +7,20 @@
    so a pool built with [create (jobs - 1)] workers gives [jobs]
    evaluation lanes total.  Determinism is the caller's contract: [f]
    must write result [i] to slot [i] only, so claim order never shows
-   in the output. *)
+   in the output.
+
+   Supervision: each worker domain runs under a supervisor wrapper.  If
+   a worker dies (any exception escaping its loop — [Worker_killed] is
+   the test hook that simulates an abrupt domain death), the supervisor
+   requeues the index the lane had claimed onto the orphan list, bumps
+   [pool.worker.restarts], and spawns a replacement domain that joins
+   the in-flight job.  Orphans are claimed before fresh indices, so a
+   killed lane delays its index but never loses it, and [run] still
+   returns only when every index has actually completed. *)
+
+exception Worker_killed
+
+let restarts_counter = Telemetry.Counter.make "pool.worker.restarts"
 
 type t = {
   m : Mutex.t;
@@ -15,6 +28,8 @@ type t = {
   work_done : Condition.t;
   mutable job : (int -> unit) option;
   mutable next : int;
+  mutable orphans : int list;  (* indices claimed by a lane that died *)
+  inflight : int array;  (* per-lane claimed index, -1 when idle; slot [workers] is the main lane *)
   mutable total : int;
   mutable completed : int;
   mutable failure : exn option;
@@ -24,22 +39,56 @@ type t = {
   workers : int;
 }
 
-(* Claim-and-run one index; caller holds the mutex on entry and exit. *)
-let step t f =
-  let i = t.next in
-  t.next <- t.next + 1;
-  Mutex.unlock t.m;
-  (try f i
-   with e ->
-     Mutex.lock t.m;
-     if t.failure = None then t.failure <- Some e;
-     Mutex.unlock t.m);
-  Mutex.lock t.m;
-  t.completed <- t.completed + 1;
-  if t.completed >= t.total then Condition.broadcast t.work_done
+(* Next index to run, orphans first; caller holds the mutex. *)
+let claim_locked t =
+  match t.orphans with
+  | i :: rest ->
+    t.orphans <- rest;
+    Some i
+  | [] ->
+    if t.next < t.total then begin
+      let i = t.next in
+      t.next <- t.next + 1;
+      Some i
+    end
+    else None
 
-let worker t () =
-  let last = ref 0 in
+(* Run one claimed index.  The mutex is held on entry and exit — except
+   on a worker lane hit by [Worker_killed], which requeues its index,
+   unlocks and re-raises so the supervisor can replace the domain. *)
+let step t f ~slot i =
+  t.inflight.(slot) <- i;
+  Mutex.unlock t.m;
+  match f i with
+  | () ->
+    Mutex.lock t.m;
+    t.inflight.(slot) <- -1;
+    t.completed <- t.completed + 1;
+    if t.completed >= t.total then Condition.broadcast t.work_done
+  | exception Worker_killed ->
+    Mutex.lock t.m;
+    t.inflight.(slot) <- -1;
+    t.orphans <- i :: t.orphans;
+    (* Wake both sides: idle workers can claim the orphan, and a main
+       lane blocked in [run] must re-check rather than sleep on a
+       completion count that will not move until someone reclaims. *)
+    Condition.broadcast t.work_ready;
+    Condition.broadcast t.work_done;
+    if slot < t.workers then begin
+      Mutex.unlock t.m;
+      raise Worker_killed
+    end
+    (* Main lane: the calling domain cannot be respawned — it simply
+       requeues and keeps claiming. *)
+  | exception e ->
+    Mutex.lock t.m;
+    t.inflight.(slot) <- -1;
+    if t.failure = None then t.failure <- Some e;
+    t.completed <- t.completed + 1;
+    if t.completed >= t.total then Condition.broadcast t.work_done
+
+let worker_loop t ~slot ~last_gen =
+  let last = ref last_gen in
   Mutex.lock t.m;
   let running = ref true in
   while !running do
@@ -53,12 +102,39 @@ let worker t () =
       let claiming = ref true in
       while !claiming do
         match t.job with
-        | Some f when t.generation = gen && t.next < t.total -> step t f
+        | Some f when t.generation = gen -> (
+          match claim_locked t with
+          | Some i -> step t f ~slot i
+          | None -> claiming := false)
         | _ -> claiming := false
       done
     end
   done;
   Mutex.unlock t.m
+
+(* Worker supervisor.  An exception escaping the loop means the lane is
+   gone: requeue whatever it had claimed, count the restart, and spawn
+   a replacement that joins the job already in flight ([last_gen] one
+   behind the current generation, so it claims immediately). *)
+let rec supervise t ~slot ~last_gen () =
+  try worker_loop t ~slot ~last_gen
+  with e ->
+    Mutex.lock t.m;
+    if t.inflight.(slot) >= 0 then begin
+      t.orphans <- t.inflight.(slot) :: t.orphans;
+      t.inflight.(slot) <- -1
+    end;
+    (match e with
+    | Worker_killed -> ()
+    | e -> if t.failure = None then t.failure <- Some e);
+    Telemetry.Counter.incr restarts_counter;
+    if not t.shutdown then begin
+      let join_gen = t.generation - 1 in
+      t.domains <- Domain.spawn (supervise t ~slot ~last_gen:join_gen) :: t.domains
+    end;
+    Condition.broadcast t.work_ready;
+    Condition.broadcast t.work_done;
+    Mutex.unlock t.m
 
 let shutdown t =
   Mutex.lock t.m;
@@ -66,9 +142,13 @@ let shutdown t =
   else begin
     t.shutdown <- true;
     Condition.broadcast t.work_ready;
+    (* Snapshot after the flag is set: any supervisor that locks the
+       mutex later sees [shutdown] and does not spawn a replacement, so
+       the snapshot covers every domain that will ever exist. *)
+    let domains = t.domains in
+    t.domains <- [];
     Mutex.unlock t.m;
-    List.iter Domain.join t.domains;
-    t.domains <- []
+    List.iter Domain.join domains
   end
 
 let create workers =
@@ -80,6 +160,8 @@ let create workers =
       work_done = Condition.create ();
       job = None;
       next = 0;
+      orphans = [];
+      inflight = Array.make (workers + 1) (-1);
       total = 0;
       completed = 0;
       failure = None;
@@ -89,7 +171,7 @@ let create workers =
       workers;
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t.domains <- List.init workers (fun slot -> Domain.spawn (supervise t ~slot ~last_gen:0));
   (* Idle workers block on [work_ready]; make sure process exit does
      not hang waiting for them. *)
   at_exit (fun () -> shutdown t);
@@ -106,20 +188,28 @@ let run t f n =
     end;
     t.job <- Some f;
     t.next <- 0;
+    t.orphans <- [];
     t.total <- n;
     t.completed <- 0;
     t.failure <- None;
     t.generation <- t.generation + 1;
     Condition.broadcast t.work_ready;
-    (* The caller is a lane too. *)
-    while t.next < t.total do
-      step t f
+    (* The caller is a lane too; it also mops up orphans left by dead
+       workers, so completion never depends on a respawn racing in. *)
+    let slot = t.workers in
+    let continue_ = ref true in
+    while !continue_ do
+      match claim_locked t with
+      | Some i -> step t f ~slot i
+      | None ->
+        if t.completed >= t.total then continue_ := false
+        else Condition.wait t.work_done t.m
     done;
-    while t.completed < t.total do
-      Condition.wait t.work_done t.m
-    done;
+    (* Leave no job state behind even when re-raising, so the pool is
+       immediately reusable after a failed run. *)
     t.job <- None;
     let fail = t.failure in
+    t.failure <- None;
     Mutex.unlock t.m;
     match fail with Some e -> raise e | None -> ()
   end

@@ -9,6 +9,15 @@
 
 type t
 
+exception Worker_killed
+(** Test hook simulating an abrupt worker-domain death.  A job function
+    raising this from a worker lane kills that domain: the supervisor
+    requeues the claimed index, increments [pool.worker.restarts] and
+    spawns a replacement that joins the in-flight job.  Raised on the
+    main lane it simply requeues and continues (the caller's domain
+    cannot be respawned).  Unlike ordinary exceptions it is not
+    recorded as the job's failure — the index is retried instead. *)
+
 val create : int -> t
 (** [create workers] spawns that many worker domains (>= 1); they idle
     on a condition variable between jobs and are joined at process

@@ -1,0 +1,41 @@
+(* Bounded retry with deterministic escalation.
+
+   Generalises the calibration retry pattern (re-attempt with a longer
+   search and a wider probe ladder) for any transient failure a stress
+   campaign can produce.  Deliberately free of wall-clock and
+   randomness: no sleeps, no jitter — escalation means "try again with
+   stronger parameters", so a retried run is exactly reproducible and
+   the Domains backend stays bit-deterministic. *)
+
+type 'p policy = {
+  initial : 'p;
+  escalate : attempt:int -> 'p -> 'p;
+  max_attempts : int;
+}
+
+let policy ?(max_attempts = 3) ~initial ~escalate () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
+  { initial; escalate; max_attempts }
+
+type ('a, 'e) outcome = {
+  result : ('a, 'e) result;
+  attempts : int;
+}
+
+let attempts_counter = Telemetry.Counter.make "engine.retry.attempts"
+let escalations_counter = Telemetry.Counter.make "engine.retry.escalations"
+
+let run ?(retryable = fun _ -> true) ?(keep = fun _prev last -> last) p f =
+  let rec go attempt params kept =
+    Telemetry.Counter.incr attempts_counter;
+    match f ~attempt params with
+    | Ok v -> { result = Ok v; attempts = attempt }
+    | Error e ->
+      let kept = match kept with None -> e | Some prev -> keep prev e in
+      if attempt < p.max_attempts && retryable e then begin
+        Telemetry.Counter.incr escalations_counter;
+        go (attempt + 1) (p.escalate ~attempt:(attempt + 1) params) (Some kept)
+      end
+      else { result = Error kept; attempts = attempt }
+  in
+  go 1 p.initial None

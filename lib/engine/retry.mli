@@ -1,0 +1,36 @@
+(** Bounded retry with deterministic escalation.
+
+    The calibration layer's pattern — retry a failed attempt with a
+    longer search and a wider probe ladder — generalised: a policy
+    carries typed parameters and a pure escalation function, and
+    {!run} drives attempts until success, a non-retryable error, or
+    the attempt bound.  No wall clock, no randomness, no backoff
+    sleeps: retrying is escalation, so outcomes are exactly
+    reproducible on any backend. *)
+
+type 'p policy
+
+val policy :
+  ?max_attempts:int -> initial:'p -> escalate:(attempt:int -> 'p -> 'p) -> unit -> 'p policy
+(** [max_attempts] (default 3, >= 1) bounds total attempts including
+    the first; [escalate ~attempt prev] builds the parameters for
+    [attempt] (2-based — the first retry) from the previous ones. *)
+
+type ('a, 'e) outcome = {
+  result : ('a, 'e) result;  (** [Ok] from the succeeding attempt, or
+                                 the folded error once attempts are
+                                 exhausted / the error is terminal *)
+  attempts : int;            (** attempts actually made (>= 1) *)
+}
+
+val run :
+  ?retryable:('e -> bool) ->
+  ?keep:('e -> 'e -> 'e) ->
+  'p policy ->
+  (attempt:int -> 'p -> ('a, 'e) result) ->
+  ('a, 'e) outcome
+(** Drive [f] through the policy.  [retryable] (default: everything)
+    stops retrying on terminal errors; [keep prev last] (default: keep
+    [last]) folds errors across attempts so the reported error can be
+    the best attempt rather than the final one.  Counts
+    [engine.retry.attempts] / [engine.retry.escalations]. *)

@@ -6,28 +6,38 @@ type t = {
   cache : Cache.t option;
   backend : backend;
   jobs : int;
+  checkpoint : Checkpoint.t option;
+  deadline : Telemetry.Cancel.t option;
 }
 
 let default_cache_capacity = 4096
 
-let create ?(jobs = 1) ?(cache = true) ?(cache_capacity = default_cache_capacity) () =
+let create ?(jobs = 1) ?(cache = true) ?(cache_capacity = default_cache_capacity) ?checkpoint
+    ?deadline_s () =
   if jobs <= 0 then invalid_arg "Service.create: jobs must be positive";
   let backend = if jobs = 1 then Seq else Domains (Pool.create (jobs - 1)) in
-  { cache = (if cache then Some (Cache.create ~capacity:cache_capacity) else None); backend; jobs }
+  {
+    cache = (if cache then Some (Cache.create ~capacity:cache_capacity) else None);
+    backend;
+    jobs;
+    checkpoint;
+    deadline = Option.map (fun s -> Telemetry.Cancel.with_deadline s) deadline_s;
+  }
 
 let jobs t = t.jobs
 let cache_enabled t = t.cache <> None
+let checkpoint t = t.checkpoint
 
 let shutdown t = match t.backend with Seq -> () | Domains pool -> Pool.shutdown pool
 
 (* Process-global default engine, configured once by the CLI from
-   --jobs / --no-cache and used implicitly by every call site that does
-   not pass ?engine. *)
+   --jobs / --no-cache / --checkpoint / --deadline and used implicitly
+   by every call site that does not pass ?engine. *)
 let default_engine : t option ref = ref None
 
-let configure ?jobs ?cache ?cache_capacity () =
+let configure ?jobs ?cache ?cache_capacity ?checkpoint ?deadline_s () =
   Option.iter shutdown !default_engine;
-  default_engine := Some (create ?jobs ?cache ?cache_capacity ())
+  default_engine := Some (create ?jobs ?cache ?cache_capacity ?checkpoint ?deadline_s ())
 
 let default () =
   match !default_engine with
@@ -42,6 +52,7 @@ let resolve = function Some t -> t | None -> default ()
 let eval_counter = Telemetry.Counter.make "engine.evals"
 let batch_counter = Telemetry.Counter.make "engine.batches"
 let denied_counter = Telemetry.Counter.make "engine.denied"
+let deadline_counter = Telemetry.Counter.make "engine.deadline.hit"
 
 (* Same registered counter as Metrics.Measure's odometer (Counter.make
    is idempotent by name): cache hits replay their trial cost here so
@@ -50,7 +61,8 @@ let trials_counter = Telemetry.Counter.make "measure.trials"
 
 (* The cache and the pool are main-domain structures; an eval issued
    from a worker domain (e.g. a calibration nested inside a
-   parallelised study) falls back to inline sequential compute. *)
+   parallelised study) falls back to inline sequential compute (plus
+   the checkpoint, which is mutex-protected and domain-safe). *)
 let main_domain = Domain.self ()
 let on_main () = Domain.self () = main_domain
 
@@ -88,37 +100,87 @@ let compute (req : Request.t) : Cache.value =
   in
   { Cache.measurement; trial_cost = Metrics.Measure.trial_count bench }
 
+(* Run the simulator under an explicit cancellation token (a per-call
+   or engine-wide deadline); with no token, whatever ambient token the
+   caller installed still applies through the DLS. *)
+let compute_tok ~token req =
+  match token with
+  | None -> compute req
+  | Some tok -> Telemetry.Cancel.with_token tok (fun () -> compute req)
+
 module Account = struct
   type t = {
-    mutable spent : int;
+    spent : int Atomic.t;
     limit : int option;
   }
 
-  let make ?limit () = { spent = 0; limit }
-  let spent a = a.spent
+  let make ?limit () = { spent = Atomic.make 0; limit }
+  let spent a = Atomic.get a.spent
   let limit a = a.limit
-  let charge a n = a.spent <- a.spent + n
-  let exhausted a = match a.limit with Some l -> a.spent >= l | None -> false
+  let charge a n = ignore (Atomic.fetch_and_add a.spent n)
+  let exhausted a = match a.limit with Some l -> Atomic.get a.spent >= l | None -> false
 end
 
-type denial = Budget_exhausted of { spent : int; limit : int }
+type denial =
+  | Budget_exhausted of {
+      spent : int;
+      limit : int;
+    }
+  | Timed_out of { deadline_s : float }
 
-let eval_value t (req : Request.t) : Cache.value =
-  if not (on_main ()) then compute req
+(* Checkpoint plumbing: a journal hit replays the trial cost exactly
+   like a cache hit, so odometers are independent of how a run was cut
+   up; a journal miss computes and records before anything else can
+   observe the value (durability precedes visibility). *)
+
+let replay (value : Cache.value) =
+  Telemetry.Counter.add trials_counter value.Cache.trial_cost;
+  value
+
+let lookup_checkpoint t key =
+  match t.checkpoint with None -> None | Some cp -> Checkpoint.find cp key
+
+let checkpoint_record t key value =
+  match t.checkpoint with None -> () | Some cp -> Checkpoint.record cp key value
+
+let compute_keyed t ~token key req =
+  let value = compute_tok ~token req in
+  checkpoint_record t key value;
+  value
+
+let eval_value ?token t (req : Request.t) : Cache.value =
+  let token = match token with Some _ as tk -> tk | None -> t.deadline in
+  let key = Request.cache_key req in
+  if not (on_main ()) then
+    match key with
+    | Some k -> (
+      match lookup_checkpoint t k with
+      | Some value -> replay value
+      | None -> compute_keyed t ~token k req)
+    | None -> compute_tok ~token req
   else
-    match t.cache, Request.cache_key req with
-    | Some cache, Some key -> (
-      match Cache.find cache key with
+    match t.cache, key with
+    | Some cache, Some k -> (
+      match Cache.find cache k with
       | Some value ->
         (* Hit: no simulator step ran; replay the trial cost so the
            odometer matches a cold run exactly. *)
-        Telemetry.Counter.add trials_counter value.Cache.trial_cost;
-        value
-      | None ->
-        let value = compute req in
-        Cache.add cache key value;
-        value)
-    | _ -> compute req
+        replay value
+      | None -> (
+        match lookup_checkpoint t k with
+        | Some value ->
+          let value = replay value in
+          Cache.add cache k value;
+          value
+        | None ->
+          let value = compute_keyed t ~token k req in
+          Cache.add cache k value;
+          value))
+    | None, Some k -> (
+      match lookup_checkpoint t k with
+      | Some value -> replay value
+      | None -> compute_keyed t ~token k req)
+    | _, None -> compute_tok ~token req
 
 let charge account (value : Cache.value) =
   Option.iter (fun a -> Account.charge a value.Cache.trial_cost) account
@@ -128,20 +190,8 @@ let eval ?engine ?account req =
   charge account value;
   value.Cache.measurement
 
-let eval_guarded ?engine ~account req =
-  if Account.exhausted account then begin
-    Telemetry.Counter.incr denied_counter;
-    let limit = Option.value (Account.limit account) ~default:0 in
-    Error (Budget_exhausted { spent = Account.spent account; limit })
-  end
-  else begin
-    let value = eval_value (resolve engine) req in
-    Account.charge account value.Cache.trial_cost;
-    Ok (value.Cache.measurement, value.Cache.trial_cost)
-  end
-
-let eval_batch ?engine ?account reqs =
-  let t = resolve engine in
+let eval_batch_inner ?token t ?account reqs =
+  let token = match token with Some _ as tk -> tk | None -> t.deadline in
   Telemetry.Counter.incr batch_counter;
   let arr = Array.of_list reqs in
   let n = Array.length arr in
@@ -149,7 +199,7 @@ let eval_batch ?engine ?account reqs =
   else if not (on_main ()) then
     List.map
       (fun req ->
-        let value = compute req in
+        let value = eval_value ?token t req in
         charge account value;
         value.Cache.measurement)
       reqs
@@ -166,18 +216,37 @@ let eval_batch ?engine ?account reqs =
           | None -> ()
           | Some key -> (
             match Cache.find cache key with
-            | Some value ->
-              Telemetry.Counter.add trials_counter value.Cache.trial_cost;
-              results.(i) <- Some value
+            | Some value -> results.(i) <- Some (replay value)
             | None -> ()))
         keys);
-    let misses =
-      Array.of_list
-        (List.filter (fun i -> results.(i) = None) (List.init n (fun i -> i)))
+    (* Indices the cache must learn, whether the value comes from the
+       journal or from a fresh compute. *)
+    let to_store =
+      Array.of_list (List.filter (fun i -> results.(i) = None) (List.init n (fun i -> i)))
     in
+    (* Checkpoint pass: resume completed cells without touching the
+       simulator. *)
+    (match t.checkpoint with
+    | None -> ()
+    | Some cp ->
+      Array.iter
+        (fun i ->
+          match keys.(i) with
+          | None -> ()
+          | Some key -> (
+            match Checkpoint.find cp key with
+            | Some value -> results.(i) <- Some (replay value)
+            | None -> ()))
+        to_store);
+    let misses = Array.of_list (List.filter (fun i -> results.(i) = None) (Array.to_list to_store)) in
+    (* Each completed compute journals itself before publishing, from
+       whichever domain ran it — an interrupt mid-batch loses only the
+       evaluations that had not finished. *)
     let run_one j =
       let i = misses.(j) in
-      results.(i) <- Some (compute arr.(i))
+      let value = compute_tok ~token arr.(i) in
+      (match keys.(i) with None -> () | Some key -> checkpoint_record t key value);
+      results.(i) <- Some value
     in
     (match t.backend with
     | Seq -> Array.iteri (fun j _ -> run_one j) misses
@@ -192,7 +261,7 @@ let eval_batch ?engine ?account reqs =
           match keys.(i), results.(i) with
           | Some key, Some value -> Cache.add cache key value
           | _ -> ())
-        misses);
+        to_store);
     Array.to_list
       (Array.map
          (fun r ->
@@ -201,3 +270,55 @@ let eval_batch ?engine ?account reqs =
            value.Cache.measurement)
          results)
   end
+
+let eval_batch ?engine ?account reqs = eval_batch_inner (resolve engine) ?account reqs
+
+(* A cancellation that fired because [tok]'s deadline passed becomes a
+   typed [Timed_out] denial; any other cancellation (a SIGINT, an outer
+   token) keeps propagating as the exception it is. *)
+let timed_out_guard tok deadline_s = function
+  | Telemetry.Cancel.Cancelled _ when Telemetry.Cancel.is_set tok ->
+    Telemetry.Counter.incr deadline_counter;
+    Telemetry.Counter.incr denied_counter;
+    Some (Timed_out { deadline_s })
+  | _ -> None
+
+let eval_deadlined ?engine ?account ~deadline_s req =
+  let t = resolve engine in
+  let tok = Telemetry.Cancel.with_deadline deadline_s in
+  match eval_value ~token:tok t req with
+  | value ->
+    charge account value;
+    Ok value.Cache.measurement
+  | exception e -> (
+    match timed_out_guard tok deadline_s e with Some d -> Error d | None -> raise e)
+
+let eval_batch_deadlined ?engine ?account ~deadline_s reqs =
+  let t = resolve engine in
+  let tok = Telemetry.Cancel.with_deadline deadline_s in
+  match eval_batch_inner ~token:tok t ?account reqs with
+  | ms -> Ok ms
+  | exception e -> (
+    match timed_out_guard tok deadline_s e with Some d -> Error d | None -> raise e)
+
+let eval_guarded ?engine ?deadline_s ~account req =
+  if Account.exhausted account then begin
+    Telemetry.Counter.incr denied_counter;
+    let limit = Option.value (Account.limit account) ~default:0 in
+    Error (Budget_exhausted { spent = Account.spent account; limit })
+  end
+  else
+    match deadline_s with
+    | None ->
+      let value = eval_value (resolve engine) req in
+      Account.charge account value.Cache.trial_cost;
+      Ok (value.Cache.measurement, value.Cache.trial_cost)
+    | Some deadline_s -> (
+      let t = resolve engine in
+      let tok = Telemetry.Cancel.with_deadline deadline_s in
+      match eval_value ~token:tok t req with
+      | value ->
+        Account.charge account value.Cache.trial_cost;
+        Ok (value.Cache.measurement, value.Cache.trial_cost)
+      | exception e -> (
+        match timed_out_guard tok deadline_s e with Some d -> Error d | None -> raise e))

@@ -16,25 +16,55 @@
       and every trial odometer are independent of the backend;
     - cache hits replay the original evaluation's trial cost into the
       [measure.trials] odometer and any {!Account}, so printed query
-      accounting is independent of cache warmth. *)
+      accounting is independent of cache warmth.
+
+    Supervision (PR 6): an engine can carry a {!Checkpoint.t} journal —
+    a persistent second cache level that makes completed evaluations
+    durable (each one fsync'd as it finishes, from whichever domain ran
+    it) so an interrupted campaign resumes bit-identically — and a
+    deadline, enforced cooperatively by cancellation polls inside the
+    simulator inner loop.  A deadline that fires surfaces as the typed
+    denial {!Timed_out} (counted in [engine.deadline.hit]), never as a
+    hang. *)
 
 type t
 
-val create : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?cache_capacity:int ->
+  ?checkpoint:Checkpoint.t ->
+  ?deadline_s:float ->
+  unit ->
+  t
 (** [jobs] evaluation lanes (default 1 = sequential backend; [n >= 2]
     spawns [n - 1] worker domains and the caller participates);
     [cache] (default true) fronts evaluation with an LRU of
-    [cache_capacity] (default 4096) results. *)
+    [cache_capacity] (default 4096) results.  [checkpoint] journals
+    every completed evaluation and replays journalled ones
+    (caller-owned: the engine never closes it).  [deadline_s] arms an
+    engine-wide deadline, measured from this call, that cancels any
+    in-flight evaluation once it passes. *)
 
 val jobs : t -> int
 val cache_enabled : t -> bool
+val checkpoint : t -> Checkpoint.t option
 
 val shutdown : t -> unit
-(** Join the worker pool (tests); also registered at process exit. *)
+(** Join the worker pool (tests); also registered at process exit.
+    Does not close the checkpoint — its owner does. *)
 
-val configure : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> unit
+val configure :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?cache_capacity:int ->
+  ?checkpoint:Checkpoint.t ->
+  ?deadline_s:float ->
+  unit ->
+  unit
 (** Replace the process-global default engine — the CLI calls this once
-    from [--jobs] / [--no-cache] before running a workload. *)
+    from [--jobs] / [--no-cache] / [--checkpoint] / [--deadline] before
+    running a workload. *)
 
 val default : unit -> t
 (** The process-global engine ([jobs = 1], cache on, until
@@ -42,7 +72,9 @@ val default : unit -> t
 
 (** Trial accounting, engine-side: an account accumulates the actual
     bench-trial cost of every evaluation charged to it, and optionally
-    enforces a hard limit (the oracle's watchdog). *)
+    enforces a hard limit (the oracle's watchdog).  Domain-safe: the
+    odometer is atomic, so a single account can be shared across a
+    parallel batch without losing charges. *)
 module Account : sig
   type t
 
@@ -53,7 +85,15 @@ module Account : sig
   val exhausted : t -> bool
 end
 
-type denial = Budget_exhausted of { spent : int; limit : int }
+(** Why an evaluation was refused rather than run: the account's hard
+    budget was already spent, or the deadline passed before the
+    simulator finished. *)
+type denial =
+  | Budget_exhausted of {
+      spent : int;
+      limit : int;
+    }
+  | Timed_out of { deadline_s : float }
 
 val eval : ?engine:t -> ?account:Account.t -> Request.t -> Metrics.Spec.measurement
 (** Evaluate one request (cache-first, inline on the calling domain). *)
@@ -63,9 +103,35 @@ val eval_batch :
 (** Evaluate a batch; results come back in request order, bit-identical
     across backends and cache states. *)
 
+val eval_deadlined :
+  ?engine:t ->
+  ?account:Account.t ->
+  deadline_s:float ->
+  Request.t ->
+  (Metrics.Spec.measurement, denial) result
+(** [eval] under a per-call deadline (seconds from now).  A deadline
+    that fires mid-simulation returns [Error (Timed_out _)] within one
+    poll interval of the inner loop; cache and checkpoint hits never
+    time out.  Counts [engine.deadline.hit]. *)
+
+val eval_batch_deadlined :
+  ?engine:t ->
+  ?account:Account.t ->
+  deadline_s:float ->
+  Request.t list ->
+  (Metrics.Spec.measurement list, denial) result
+(** [eval_batch] under one shared deadline for the whole batch.  On
+    timeout the in-flight lanes drain at their next poll; evaluations
+    that completed before the deadline are already journalled (and
+    cached), so a resumed batch does not repeat them. *)
+
 val eval_guarded :
-  ?engine:t -> account:Account.t -> Request.t ->
+  ?engine:t ->
+  ?deadline_s:float ->
+  account:Account.t ->
+  Request.t ->
   (Metrics.Spec.measurement * int, denial) result
 (** The budget watchdog: refuse (and count [engine.denied]) once the
     account is exhausted, otherwise evaluate and charge the actual
-    trial cost, returning it alongside the measurement. *)
+    trial cost, returning it alongside the measurement.  [deadline_s]
+    additionally bounds the evaluation like {!eval_deadlined}. *)

@@ -21,6 +21,8 @@ let run ?(hours = [ 1e3; 2e4; 1e5 ]) (ctx : Context.t) =
     snr_of ~standard (Engine.Request.die_of_receiver ctx.Context.rx) ctx.Context.golden
   in
   let point h =
+    (* Cancellation point per aging step. *)
+    Telemetry.Cancel.poll ();
     (* The aged die has its own engine identity (the fingerprint folds
        in age_hours), so aged-key measurements cache independently of
        the fresh die's. *)

@@ -9,6 +9,7 @@ let run ?(n_fft = 1024) (ctx : Context.t) =
   let die = Engine.Request.die_of_receiver ctx.Context.rx in
   let standard = ctx.Context.standard in
   let sweep config =
+    Telemetry.Cancel.poll ();
     (* Every point of the three-segment power sweep as one engine
        batch. *)
     let measure_batch points =

@@ -5,6 +5,9 @@ type t = {
 }
 
 let run ?(n_invalid = 100) (ctx : Context.t) =
+  (* Cancellation point at the stage boundary: a SIGINT or deadline
+     between figures stops before the next ensemble starts. *)
+  Telemetry.Cancel.poll ();
   let eval =
     (* Same derived seed as Context.invalid_ensemble, so the deceptive
        key Figs. 8/10/11/12 reuse is guaranteed to be in this

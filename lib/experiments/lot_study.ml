@@ -19,6 +19,8 @@ type t = {
 }
 
 let calibrate_die standard seed =
+  (* Cancellation point per die of the lot. *)
+  Telemetry.Cancel.poll ();
   let chip = Circuit.Process.fabricate ~seed () in
   let rx = Rfchain.Receiver.create chip standard in
   let report = (Calibration.Calibrate.run ~passes:1 ~max_retries:0 rx).Calibration.Calibrate.report in

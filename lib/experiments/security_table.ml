@@ -39,6 +39,9 @@ let run ?(budget = 400) ?(attacker_seed = 777) (ctx : Context.t) =
      [queries] is what the attack *actually* consumed, independent of
      the trial count it reports about itself. *)
   let audited name f =
+    (* Cancellation point per attack: the table stops between attacks,
+       never mid-search with a half-charged odometer. *)
+    Telemetry.Cancel.poll ();
     let before = Attacks.Oracle.global_queries () in
     let r = Telemetry.Span.with_ ~name:("attack." ^ name) f in
     (r, Attacks.Oracle.global_queries () - before)

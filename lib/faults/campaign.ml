@@ -40,6 +40,8 @@ type t = {
   flips : flip_probe list;
   unlocked_bits : int list;
   demos : demo list;
+  interrupted : string option;
+  completed_cells : int;
 }
 
 (* The sweep grid: every mechanism of the taxonomy, seeded per die so
@@ -86,166 +88,281 @@ let cells_counter = Telemetry.Counter.make "faults.cells"
 let flip_probes_counter = Telemetry.Counter.make "faults.flip_probes"
 let demos_counter = Telemetry.Counter.make "faults.demos"
 
-let run ?(dies = 3) ?(seed = 42) standard =
+(* Campaign-internal control flow for the two supervised stops.  Both
+   are raised only between chunks (or from a cancellation poll), caught
+   once at the top of [run], and never escape the library. *)
+exception Deadline
+exception Halt of string
+
+(* Fixed chunk size, independent of --jobs: checkpoint granularity and
+   the injected-interrupt cut points are properties of the campaign,
+   not of the backend that happens to run it. *)
+let chunk_size = 16
+
+let split_at n xs =
+  let rec go k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+(* Evaluate a request list through the engine in chunks.  Every chunk
+   that returns is durable (each evaluation journals itself) and counts
+   into [completed]; the campaign deadline and the injected interrupt
+   both land on chunk boundaries, so [completed] is exact when either
+   fires.  [interrupt_after] shrinks a chunk to cut at precisely that
+   many completed cells — the deterministic stand-in for a SIGINT. *)
+let eval_chunked ?engine ~tok ~completed ~interrupt_after reqs =
+  let rec go acc reqs =
+    match reqs with
+    | [] -> List.concat (List.rev acc)
+    | reqs ->
+      (match interrupt_after with
+      | Some k when !completed >= k -> raise (Halt "interrupt (injected)")
+      | _ -> ());
+      Telemetry.Cancel.poll ();
+      let n =
+        match interrupt_after with
+        | Some k when k > !completed -> min chunk_size (k - !completed)
+        | _ -> chunk_size
+      in
+      let batch, rest = split_at n reqs in
+      let ms =
+        match tok with
+        | None -> Engine.Service.eval_batch ?engine batch
+        | Some tok -> (
+          let remaining =
+            match Telemetry.Cancel.remaining_s tok with
+            | Some r -> r
+            | None -> infinity
+          in
+          if remaining <= 0.0 then raise Deadline;
+          match Engine.Service.eval_batch_deadlined ?engine ~deadline_s:remaining batch with
+          | Ok ms -> ms
+          | Error (Engine.Service.Timed_out _) -> raise Deadline
+          | Error (Engine.Service.Budget_exhausted _) ->
+            assert false (* no account is attached to campaign batches *))
+      in
+      completed := !completed + List.length batch;
+      go (ms :: acc) rest
+  in
+  go [] reqs
+
+let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
   if dies < 1 then Error (Error.Empty_sweep { what = "dies" })
   else begin
     Telemetry.Span.with_ ~name:"faults.campaign"
       ~attrs:[ ("dies", string_of_int dies); ("standard", standard.Rfchain.Standards.name) ]
     @@ fun () ->
     let min_snr = standard.Rfchain.Standards.min_snr_db in
-    (* Calibrate each die of the lot while healthy: the campaign asks
-       what happens to a *provisioned* part when a fault arrives. *)
-    let lot =
-      List.init dies (fun i ->
-          let die_seed = seed + (17 * i) in
-          Telemetry.Span.with_ ~name:"faults.die" ~attrs:[ ("die", string_of_int die_seed) ]
-            (fun () ->
-              let chip = Circuit.Process.fabricate ~seed:die_seed () in
-              let rx = Rfchain.Receiver.create chip standard in
-              (die_seed, chip, Calibration.Calibrate.quick rx)))
-    in
-    let chip0, key0 =
-      match lot with
-      | (_, chip, key) :: _ -> (chip, key)
-      | [] -> (Circuit.Process.fabricate ~seed (), Rfchain.Config.nominal) (* dies >= 1 *)
-    in
-    let die0 = Engine.Request.die_of_chip chip0 in
-    let golden_snr_mod_db =
-      (Engine.Service.eval
-         (Engine.Request.make ~die:die0 ~standard ~config:key0 Engine.Request.Snr_mod))
-        .Metrics.Spec.snr_mod_db
-    in
-    (* Fault x severity x die grid, golden key applied to the faulted
-       part.  The grid is embarrassingly parallel: build every cell's
-       engine request up front, evaluate as one batch (fans out across
-       the domains backend under --jobs), then zip the SNRs back in
-       grid order. *)
-    let cell_points =
-      List.concat_map
-        (fun (die_seed, chip, key) ->
-          List.concat_map
-            (fun (mech, make) ->
-              List.map
-                (fun severity ->
-                  Telemetry.Counter.incr cells_counter;
-                  let faults = make ~die:die_seed severity in
-                  (die_seed, mech, severity, faults, chip, key))
-                Fault.all_severities)
-            mechanisms)
-        lot
-    in
-    let cell_snrs =
-      Engine.Service.eval_batch
-        (List.map
-           (fun (_, _, _, faults, chip, key) ->
-             Engine.Request.make ~die:(Inject.die chip faults) ~standard ~config:key
-               Engine.Request.Snr_mod)
-           cell_points)
-    in
-    let cells =
-      List.map2
-        (fun (die_seed, mech, severity, faults, _, _) m ->
-          let snr_mod_db = m.Metrics.Spec.snr_mod_db in
-          let snr_mod_db = if Float.is_nan snr_mod_db then neg_infinity else snr_mod_db in
-          let lock_margin_db = snr_mod_db -. min_snr in
-          {
-            die_seed;
-            mechanism = mech;
-            severity;
-            faults;
-            snr_mod_db;
-            lock_margin_db;
-            in_spec = lock_margin_db >= 0.0;
-          })
-        cell_points cell_snrs
-    in
-    (* Single-bit corruption cliff: flip each key bit on the healthy
-       primary die.  Fast SNR probes go out as one batch; only apparent
-       survivors pay for the full spec check (a second, much smaller
-       batch). *)
-    let corrupted_of bit =
-      Rfchain.Config.of_bits
-        (Int64.logxor (Rfchain.Config.to_bits key0) (Int64.shift_left 1L bit))
-    in
-    let bits = List.init Rfchain.Config.key_bits (fun bit -> bit) in
-    let probe_snrs =
-      Engine.Service.eval_batch
-        (List.map
-           (fun bit ->
-             Telemetry.Counter.incr flip_probes_counter;
-             Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)
-               Engine.Request.Snr_mod)
-           bits)
-      |> List.map (fun m ->
-             let snr = m.Metrics.Spec.snr_mod_db in
-             if Float.is_nan snr then neg_infinity else snr)
-    in
-    let probes = List.combine bits probe_snrs in
-    let survivor_bits = List.filter (fun (_, snr) -> snr >= min_snr) probes in
-    let survivor_checks =
-      Engine.Service.eval_batch
-        (List.map
-           (fun (bit, _) ->
-             Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)
-               Engine.Request.Full)
-           survivor_bits)
-      |> List.map2
-           (fun (bit, _) m -> (bit, (Metrics.Spec.check standard m).Metrics.Spec.functional))
-           survivor_bits
-    in
-    let flips =
-      List.map
-        (fun (bit, snr) ->
-          let survives_full =
-            match List.assoc_opt bit survivor_checks with
-            | Some functional -> functional
-            | None -> false
-          in
-          { bit; flip_snr_mod_db = snr; survives_full })
-        probes
-    in
-    let unlocked_bits =
-      List.filter_map (fun p -> if p.survives_full then Some p.bit else None) flips
-    in
-    (* Calibration-defeat demos: faults severe enough that the 14-step
-       procedure cannot converge, exercising both structured failure
-       paths (dead tank; completed-but-out-of-spec). *)
-    let demo label fault =
-      Telemetry.Counter.incr demos_counter;
-      Telemetry.Span.with_ ~name:"faults.demo" ~attrs:[ ("label", label) ] @@ fun () ->
-      let rx = Inject.receiver chip0 standard [ fault ] in
-      {
-        label;
-        demo_fault = fault;
-        outcome = Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false ~max_retries:1 rx;
-      }
-    in
-    let demos =
-      [
-        demo "Q-enhancement driver dead" (Fault.stuck_field ~name:"gm_q" ~code:0);
-        demo "comparator clock stuck (buffer mode)"
-          (Fault.stuck_field ~name:"comp_clock_enable" ~code:0);
-      ]
-    in
-    Ok
+    let tok = Option.map (fun s -> Telemetry.Cancel.with_deadline s) deadline_s in
+    (* Install the campaign deadline as the ambient token for the
+       main-domain stages (lot calibration, demos) so their simulator
+       polls observe it; batched stages carry it explicitly into the
+       worker domains via [eval_batch_deadlined]. *)
+    let with_tok f = match tok with None -> f () | Some tk -> Telemetry.Cancel.with_token tk f in
+    (* Partial-state accumulators: whatever is filled in when an
+       interrupt lands becomes the partial report. *)
+    let completed = ref 0 in
+    let total = ref 0 in
+    let golden_r = ref nan in
+    let cells_r = ref [] in
+    let flips_r = ref [] in
+    let unlocked_r = ref [] in
+    let demos_r = ref [] in
+    let interrupted_r = ref None in
+    let finish () =
       {
         standard;
         seed;
         dies;
-        golden_snr_mod_db;
-        cells;
-        stats = stats_of cells;
-        flips;
-        unlocked_bits;
-        demos;
+        golden_snr_mod_db = !golden_r;
+        cells = !cells_r;
+        stats = stats_of !cells_r;
+        flips = !flips_r;
+        unlocked_bits = !unlocked_r;
+        demos = !demos_r;
+        interrupted = !interrupted_r;
+        completed_cells = !completed;
       }
+    in
+    let eval_chunked reqs = eval_chunked ?engine ~tok ~completed ~interrupt_after reqs in
+    match
+      with_tok @@ fun () ->
+      (* Calibrate each die of the lot while healthy: the campaign asks
+         what happens to a *provisioned* part when a fault arrives. *)
+      let lot =
+        List.init dies (fun i ->
+            Telemetry.Cancel.poll ();
+            let die_seed = seed + (17 * i) in
+            Telemetry.Span.with_ ~name:"faults.die" ~attrs:[ ("die", string_of_int die_seed) ]
+              (fun () ->
+                let chip = Circuit.Process.fabricate ~seed:die_seed () in
+                let rx = Rfchain.Receiver.create chip standard in
+                (die_seed, chip, Calibration.Calibrate.quick rx)))
+      in
+      let chip0, key0 =
+        match lot with
+        | (_, chip, key) :: _ -> (chip, key)
+        | [] -> (Circuit.Process.fabricate ~seed (), Rfchain.Config.nominal) (* dies >= 1 *)
+      in
+      let die0 = Engine.Request.die_of_chip chip0 in
+      golden_r :=
+        (Engine.Service.eval ?engine
+           (Engine.Request.make ~die:die0 ~standard ~config:key0 Engine.Request.Snr_mod))
+          .Metrics.Spec.snr_mod_db;
+      (* Fault x severity x die grid, golden key applied to the faulted
+         part.  The grid is embarrassingly parallel: build every cell's
+         engine request up front, evaluate in fixed-size chunks (each
+         chunk fans out across the domains backend under --jobs and is
+         journalled cell by cell), then zip the SNRs back in grid
+         order. *)
+      let cell_points =
+        List.concat_map
+          (fun (die_seed, chip, key) ->
+            List.concat_map
+              (fun (mech, make) ->
+                List.map
+                  (fun severity ->
+                    Telemetry.Counter.incr cells_counter;
+                    let faults = make ~die:die_seed severity in
+                    (die_seed, mech, severity, faults, chip, key))
+                  Fault.all_severities)
+              mechanisms)
+          lot
+      in
+      total := List.length cell_points + Rfchain.Config.key_bits;
+      let cell_snrs =
+        eval_chunked
+          (List.map
+             (fun (_, _, _, faults, chip, key) ->
+               Engine.Request.make ~die:(Inject.die chip faults) ~standard ~config:key
+                 Engine.Request.Snr_mod)
+             cell_points)
+      in
+      cells_r :=
+        List.map2
+          (fun (die_seed, mech, severity, faults, _, _) m ->
+            let snr_mod_db = m.Metrics.Spec.snr_mod_db in
+            let snr_mod_db = if Float.is_nan snr_mod_db then neg_infinity else snr_mod_db in
+            let lock_margin_db = snr_mod_db -. min_snr in
+            {
+              die_seed;
+              mechanism = mech;
+              severity;
+              faults;
+              snr_mod_db;
+              lock_margin_db;
+              in_spec = lock_margin_db >= 0.0;
+            })
+          cell_points cell_snrs;
+      (* Single-bit corruption cliff: flip each key bit on the healthy
+         primary die.  Fast SNR probes go out chunked; only apparent
+         survivors pay for the full spec check (a second, much smaller
+         pass). *)
+      let corrupted_of bit =
+        Rfchain.Config.of_bits
+          (Int64.logxor (Rfchain.Config.to_bits key0) (Int64.shift_left 1L bit))
+      in
+      let bits = List.init Rfchain.Config.key_bits (fun bit -> bit) in
+      let probe_snrs =
+        eval_chunked
+          (List.map
+             (fun bit ->
+               Telemetry.Counter.incr flip_probes_counter;
+               Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)
+                 Engine.Request.Snr_mod)
+             bits)
+        |> List.map (fun m ->
+               let snr = m.Metrics.Spec.snr_mod_db in
+               if Float.is_nan snr then neg_infinity else snr)
+      in
+      let probes = List.combine bits probe_snrs in
+      let survivor_bits = List.filter (fun (_, snr) -> snr >= min_snr) probes in
+      total := !total + List.length survivor_bits;
+      let survivor_checks =
+        eval_chunked
+          (List.map
+             (fun (bit, _) ->
+               Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)
+                 Engine.Request.Full)
+             survivor_bits)
+        |> List.map2
+             (fun (bit, _) m -> (bit, (Metrics.Spec.check standard m).Metrics.Spec.functional))
+             survivor_bits
+      in
+      flips_r :=
+        List.map
+          (fun (bit, snr) ->
+            let survives_full =
+              match List.assoc_opt bit survivor_checks with
+              | Some functional -> functional
+              | None -> false
+            in
+            { bit; flip_snr_mod_db = snr; survives_full })
+          probes;
+      unlocked_r :=
+        List.filter_map (fun p -> if p.survives_full then Some p.bit else None) !flips_r;
+      (* Calibration-defeat demos: faults severe enough that the 14-step
+         procedure cannot converge, exercising both structured failure
+         paths (dead tank; completed-but-out-of-spec). *)
+      let demo label fault =
+        Telemetry.Cancel.poll ();
+        Telemetry.Counter.incr demos_counter;
+        Telemetry.Span.with_ ~name:"faults.demo" ~attrs:[ ("label", label) ] @@ fun () ->
+        let rx = Inject.receiver chip0 standard [ fault ] in
+        let d =
+          {
+            label;
+            demo_fault = fault;
+            outcome = Calibration.Calibrate.run ~passes:1 ~refine_sfdr:false ~max_retries:1 rx;
+          }
+        in
+        (* Accumulate as each demo completes, so an interrupt between
+           demos still reports the finished one. *)
+        demos_r := !demos_r @ [ d ]
+      in
+      demo "Q-enhancement driver dead" (Fault.stuck_field ~name:"gm_q" ~code:0);
+      demo "comparator clock stuck (buffer mode)"
+        (Fault.stuck_field ~name:"comp_clock_enable" ~code:0);
+      Ok (finish ())
+    with
+    | result -> result
+    | exception Deadline ->
+      Error
+        (Error.Deadline_exceeded
+           {
+             deadline_s = Option.value deadline_s ~default:0.0;
+             completed = !completed;
+             total = !total;
+           })
+    | exception Telemetry.Cancel.Cancelled reason
+      when deadline_s <> None && reason = Telemetry.Cancel.deadline_reason ->
+      Error
+        (Error.Deadline_exceeded
+           {
+             deadline_s = Option.value deadline_s ~default:0.0;
+             completed = !completed;
+             total = !total;
+           })
+    | exception Halt reason ->
+      interrupted_r := Some reason;
+      Ok (finish ())
+    | exception Telemetry.Cancel.Cancelled reason ->
+      (* A SIGINT (or an outer token): everything journalled so far is
+         durable; report what completed, marked incomplete. *)
+      interrupted_r := Some reason;
+      Ok (finish ())
   end
 
-let run_by_name ?dies ?seed name =
+let run_by_name ?dies ?seed ?engine ?deadline_s ?interrupt_after name =
   match Rfchain.Standards.find_opt name with
   | None ->
     Error (Error.Unknown_standard { requested = name; known = Rfchain.Standards.names })
-  | Some standard -> run ?dies ?seed standard
+  | Some standard -> run ?dies ?seed ?engine ?deadline_s ?interrupt_after standard
+
+let complete t = t.interrupted = None
 
 let is_degraded_as outcome ~tank_dead =
   match outcome.Calibration.Calibrate.verdict with

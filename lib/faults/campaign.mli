@@ -50,17 +50,50 @@ type t = {
   flips : flip_probe list;         (** all 64 single-bit corruptions *)
   unlocked_bits : int list;        (** bit positions whose flip still meets spec *)
   demos : demo list;               (** calibration-defeat demonstrations *)
+  interrupted : string option;     (** [Some reason] marks a partial report *)
+  completed_cells : int;           (** engine cells incorporated into this report *)
 }
 
 val mechanism_names : string list
 (** The sweep grid's mechanisms, in report order. *)
 
-val run : ?dies:int -> ?seed:int -> Rfchain.Standards.t -> (t, Error.t) result
-(** Run the campaign ([dies] defaults to 3, [seed] to 42). *)
+val chunk_size : int
+(** Cells per engine batch — the checkpoint / interrupt granularity.
+    Fixed, independent of [--jobs], so cut points are deterministic. *)
 
-val run_by_name : ?dies:int -> ?seed:int -> string -> (t, Error.t) result
+val run :
+  ?dies:int ->
+  ?seed:int ->
+  ?engine:Engine.Service.t ->
+  ?deadline_s:float ->
+  ?interrupt_after:int ->
+  Rfchain.Standards.t ->
+  (t, Error.t) result
+(** Run the campaign ([dies] defaults to 3, [seed] to 42).
+
+    Supervision: [deadline_s] bounds the whole campaign — evaluations
+    past the deadline are cancelled at their next poll and the run
+    returns [Error (Deadline_exceeded _)] with an exact completed-cell
+    count.  A SIGINT (the process-global interrupt) instead returns a
+    partial report with [interrupted = Some _]; everything evaluated
+    before the cut is already journalled if [engine] carries a
+    checkpoint, so a resumed run replays it bit-identically.
+    [interrupt_after n] is the deterministic test hook: it injects the
+    interrupt after exactly [n] completed cells. *)
+
+val run_by_name :
+  ?dies:int ->
+  ?seed:int ->
+  ?engine:Engine.Service.t ->
+  ?deadline_s:float ->
+  ?interrupt_after:int ->
+  string ->
+  (t, Error.t) result
 (** [run] after a standard lookup; an unknown name returns
     [Error (Unknown_standard _)] listing the known standards. *)
+
+val complete : t -> bool
+(** [interrupted = None]. *)
 
 val checks : t -> (string * bool) list
 (** The campaign's pass/fail assertions (used by the CLI and tests). *)

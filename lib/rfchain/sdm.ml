@@ -187,6 +187,9 @@ let run_fused t ~n ~comp_noise_sigma ~d_int ~d_frac ~comp_buf ~input_buf input o
   let hist = Array.make hist_len 0.0 in
   let head = ref 0 in
   for i = 0 to n - 1 do
+    (* Cancellation point: a deadline or SIGINT stops the capture
+       within 4096 samples (raises; never perturbs the recurrence). *)
+    Telemetry.Cancel.tick_poll i;
     (* Resonator 1 output (uses only past inputs). *)
     let w1 =
       let y = (a1_1 *. !r1y1) +. (a2 *. !r1y2) +. !r1x2 in
@@ -291,6 +294,7 @@ let run t input =
     let hist = Array.make hist_len 0.0 in
     let head = ref 0 in
     for i = 0 to n - 1 do
+      Telemetry.Cancel.tick_poll i;
       (* Forward path first: both resonator outputs depend only on past
          loop inputs, so no algebraic loop arises. *)
       let w1 = Circuit.Resonator.output res1 in

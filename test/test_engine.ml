@@ -94,6 +94,7 @@ let test_batch_order () =
 
 let seq_engine = lazy (Engine.Service.create ~jobs:1 ~cache:false ())
 let pool_engine = lazy (Engine.Service.create ~jobs:2 ~cache:false ())
+let pool_engine4 = lazy (Engine.Service.create ~jobs:4 ~cache:false ())
 
 let prop_backend_equivalence =
   QCheck.Test.make ~name:"Seq and Domains backends agree bit-for-bit" ~count:4
@@ -103,6 +104,263 @@ let prop_backend_equivalence =
       let seq = Engine.Service.eval_batch ~engine:(Lazy.force seq_engine) reqs in
       let par = Engine.Service.eval_batch ~engine:(Lazy.force pool_engine) reqs in
       List.for_all2 same_measurement seq par)
+
+(* ------------------------------------------------------------ account *)
+
+let test_account_atomic_hammer () =
+  let a = Engine.Service.Account.make () in
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Engine.Service.Account.charge a 3
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no charge lost across 4 domains" (4 * per_domain * 3)
+    (Engine.Service.Account.spent a)
+
+(* Shared account under concurrent evaluation: the main domain drives
+   the jobs-4 pool while two extra domains evaluate the same list
+   through the worker fallback path, all charging one account. *)
+let prop_shared_account =
+  QCheck.Test.make ~name:"shared account never loses charges under eval_batch --jobs 4"
+    ~count:3
+    QCheck.(list_of_size (Gen.int_range 1 3) (int_range 0 63))
+    (fun flipped_bits ->
+      let reqs = List.map (fun bit -> request (config_of_bit bit)) flipped_bits in
+      let engine = Lazy.force pool_engine4 in
+      let solo = Engine.Service.Account.make () in
+      ignore (Engine.Service.eval_batch ~engine ~account:solo reqs);
+      let expected = 3 * Engine.Service.Account.spent solo in
+      let shared = Engine.Service.Account.make () in
+      let evaluate () = ignore (Engine.Service.eval_batch ~engine ~account:shared reqs) in
+      let others = List.init 2 (fun _ -> Domain.spawn evaluate) in
+      evaluate ();
+      List.iter Domain.join others;
+      Engine.Service.Account.spent shared = expected)
+
+(* --------------------------------------------------------------- pool *)
+
+let test_pool_reusable_after_exception () =
+  let pool = Engine.Pool.create 2 in
+  let n = 32 in
+  let out = Array.make n 0 in
+  (match Engine.Pool.run pool (fun i -> if i = 7 then failwith "boom" else out.(i) <- i + 1) n with
+  | () -> Alcotest.fail "the raising job must propagate its exception"
+  | exception Failure msg -> Alcotest.(check string) "first failure surfaces" "boom" msg);
+  Array.fill out 0 n 0;
+  Engine.Pool.run pool (fun i -> out.(i) <- i + 1) n;
+  Alcotest.(check bool) "pool still completes every index after a failed run" true
+    (Array.for_all (fun v -> v > 0) out);
+  Engine.Pool.shutdown pool
+
+let test_pool_worker_respawn () =
+  let pool = Engine.Pool.create 2 in
+  let n = 64 in
+  let main = Domain.self () in
+  let killed = Atomic.make false in
+  let restarts0 = counter "pool.worker.restarts" in
+  let out = Array.make n 0 in
+  (* Every lane spins until the one-shot kill has fired: the first
+     worker lane to claim an index dies, so worker participation (and
+     exactly one death) is guaranteed, not scheduler luck.  The main
+     lane cannot deadlock — it spins with no lock held while an idle
+     worker claims, dies, and releases everyone. *)
+  Engine.Pool.run pool
+    (fun i ->
+      if Domain.self () <> main && Atomic.compare_and_set killed false true then
+        raise Engine.Pool.Worker_killed;
+      while not (Atomic.get killed) do
+        Domain.cpu_relax ()
+      done;
+      out.(i) <- 1)
+    n;
+  Alcotest.(check bool) "every index completed despite the death" true
+    (Array.for_all (fun v -> v = 1) out);
+  Alcotest.(check bool) "a worker lane was killed" true (Atomic.get killed);
+  Alcotest.(check int) "restart counted" (restarts0 + 1) (counter "pool.worker.restarts");
+  Array.fill out 0 n 0;
+  Engine.Pool.run pool (fun i -> out.(i) <- i + 1) n;
+  Alcotest.(check bool) "pool usable after the respawn" true (Array.for_all (fun v -> v > 0) out);
+  Engine.Pool.shutdown pool
+
+(* ----------------------------------------------------------- deadline *)
+
+let test_eval_deadlined () =
+  let engine = Engine.Service.create ~cache:false () in
+  let req = request (config_of_bit 9) in
+  let hit0 = counter "engine.deadline.hit" in
+  (match Engine.Service.eval_deadlined ~engine ~deadline_s:0.0 req with
+  | Error (Engine.Service.Timed_out { deadline_s }) ->
+    Alcotest.(check (float 0.0)) "denial echoes the deadline" 0.0 deadline_s
+  | Error (Engine.Service.Budget_exhausted _) -> Alcotest.fail "wrong denial"
+  | Ok _ -> Alcotest.fail "an expired deadline must not evaluate");
+  Alcotest.(check int) "engine.deadline.hit incremented" (hit0 + 1)
+    (counter "engine.deadline.hit");
+  let plain = Engine.Service.eval ~engine req in
+  (match Engine.Service.eval_deadlined ~engine ~deadline_s:60.0 req with
+  | Ok m ->
+    Alcotest.(check bool) "generous deadline is bit-identical to plain eval" true
+      (same_measurement plain m)
+  | Error _ -> Alcotest.fail "a generous deadline must succeed");
+  Engine.Service.shutdown engine
+
+let test_batch_deadlined () =
+  let engine = Engine.Service.create ~jobs:2 ~cache:false () in
+  let reqs = List.map (fun bit -> request (config_of_bit bit)) [ 11; 13; 17; 19 ] in
+  (match Engine.Service.eval_batch_deadlined ~engine ~deadline_s:0.0 reqs with
+  | Error (Engine.Service.Timed_out _) -> ()
+  | Error (Engine.Service.Budget_exhausted _) -> Alcotest.fail "wrong denial"
+  | Ok _ -> Alcotest.fail "an expired deadline must time the batch out");
+  let plain = Engine.Service.eval_batch ~engine reqs in
+  (match Engine.Service.eval_batch_deadlined ~engine ~deadline_s:60.0 reqs with
+  | Ok ms ->
+    Alcotest.(check bool) "generous deadline is bit-identical to plain batch" true
+      (List.for_all2 same_measurement plain ms)
+  | Error _ -> Alcotest.fail "a generous deadline must succeed");
+  Engine.Service.shutdown engine
+
+(* -------------------------------------------------------------- retry *)
+
+let test_retry_escalates_to_success () =
+  let p =
+    Engine.Retry.policy ~max_attempts:5 ~initial:0
+      ~escalate:(fun ~attempt prev -> (prev * 10) + attempt)
+      ()
+  in
+  let seen = ref [] in
+  let o =
+    Engine.Retry.run p (fun ~attempt params ->
+        seen := (attempt, params) :: !seen;
+        if attempt < 3 then Error attempt else Ok "done")
+  in
+  Alcotest.(check int) "three attempts" 3 o.Engine.Retry.attempts;
+  (match o.Engine.Retry.result with
+  | Ok s -> Alcotest.(check string) "success value" "done" s
+  | Error _ -> Alcotest.fail "third attempt succeeds");
+  Alcotest.(check (list (pair int int)))
+    "deterministic escalation ladder"
+    [ (1, 0); (2, 2); (3, 23) ]
+    (List.rev !seen)
+
+let test_retry_terminal_error () =
+  let p = Engine.Retry.policy ~max_attempts:5 ~initial:() ~escalate:(fun ~attempt:_ () -> ()) () in
+  let o = Engine.Retry.run ~retryable:(fun _ -> false) p (fun ~attempt:_ () -> Error "fatal") in
+  Alcotest.(check int) "terminal error stops at attempt 1" 1 o.Engine.Retry.attempts;
+  Alcotest.(check bool) "error preserved" true (o.Engine.Retry.result = Error "fatal")
+
+let test_retry_bound_and_fold () =
+  let p = Engine.Retry.policy ~max_attempts:3 ~initial:() ~escalate:(fun ~attempt:_ () -> ()) () in
+  let o = Engine.Retry.run p (fun ~attempt () -> Error attempt) in
+  Alcotest.(check int) "bounded at max_attempts" 3 o.Engine.Retry.attempts;
+  Alcotest.(check bool) "default keep reports the last error" true
+    (o.Engine.Retry.result = Error 3);
+  let o =
+    Engine.Retry.run ~keep:min p (fun ~attempt () -> Error (if attempt = 2 then 1 else attempt))
+  in
+  Alcotest.(check bool) "keep folds to the best error" true (o.Engine.Retry.result = Error 1)
+
+(* --------------------------------------------------------- checkpoint *)
+
+let ok_checkpoint = function
+  | Ok cp -> cp
+  | Error c -> Alcotest.fail (Engine.Checkpoint.corruption_to_string c)
+
+let cp_value snr_mod snr_rx sfdr cost =
+  {
+    Engine.Cache.measurement = { Metrics.Spec.snr_mod_db = snr_mod; snr_rx_db = snr_rx; sfdr_db = sfdr };
+    trial_cost = cost;
+  }
+
+let check_cp_value msg (a : Engine.Cache.value) (b : Engine.Cache.value) =
+  Alcotest.(check bool) msg true
+    (same_measurement a.Engine.Cache.measurement b.Engine.Cache.measurement
+    && a.Engine.Cache.trial_cost = b.Engine.Cache.trial_cost)
+
+let test_checkpoint_roundtrip () =
+  let path = Filename.temp_file "ckpt" ".jsonl" in
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:false path) in
+  (* Deliberately hostile floats (nan, -inf, subnormal) and a key that
+     needs escaping: the journal must round-trip all of them bit-for-
+     bit. *)
+  let v1 = cp_value 12.34 nan None 3 in
+  let v2 = cp_value neg_infinity 1e-320 (Some 55.5) 0 in
+  Engine.Checkpoint.record cp "plain|key" v1;
+  Engine.Checkpoint.record cp "weird \"key\"\nwith|breaks" v2;
+  Engine.Checkpoint.close cp;
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  Alcotest.(check int) "both records replayed" 2 (Engine.Checkpoint.entries cp);
+  (match Engine.Checkpoint.find cp "plain|key" with
+  | Some v -> check_cp_value "nan survives the round trip" v1 v
+  | None -> Alcotest.fail "plain key missing");
+  (match Engine.Checkpoint.find cp "weird \"key\"\nwith|breaks" with
+  | Some v -> check_cp_value "escaped key and subnormal survive" v2 v
+  | None -> Alcotest.fail "escaped key missing");
+  Alcotest.(check bool) "absent key is a miss" true
+    (Engine.Checkpoint.find cp "missing" = None);
+  Engine.Checkpoint.close cp;
+  Sys.remove path
+
+let test_checkpoint_torn_tail () =
+  let path = Filename.temp_file "ckpt" ".jsonl" in
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:false path) in
+  Engine.Checkpoint.record cp "a" (cp_value 1.0 2.0 None 1);
+  Engine.Checkpoint.record cp "b" (cp_value 3.0 4.0 None 1);
+  Engine.Checkpoint.close cp;
+  (* Simulate a crash mid-write: a final line cut before its newline. *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc {|{"type":"cell","key":"c","snr|};
+  close_out oc;
+  let torn0 = counter "engine.checkpoint.torn" in
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  Alcotest.(check int) "torn tail dropped, good records kept" 2 (Engine.Checkpoint.entries cp);
+  Alcotest.(check int) "torn tail counted" (torn0 + 1) (counter "engine.checkpoint.torn");
+  (* The torn bytes were truncated away, so appending keeps the journal
+     parseable. *)
+  Engine.Checkpoint.record cp "c" (cp_value 5.0 6.0 None 1);
+  Engine.Checkpoint.close cp;
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  Alcotest.(check int) "journal clean after re-append" 3 (Engine.Checkpoint.entries cp);
+  Engine.Checkpoint.close cp;
+  Sys.remove path
+
+let test_checkpoint_corrupt_middle () =
+  let path = Filename.temp_file "ckpt" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"type\":\"journal\",\"version\":1}\n";
+  output_string oc "this is not a journal record\n";
+  output_string oc "{\"type\":\"journal\",\"version\":1}\n";
+  close_out oc;
+  (match Engine.Checkpoint.load ~resume:true path with
+  | Error { Engine.Checkpoint.line; _ } ->
+    Alcotest.(check int) "corruption reported at the offending line" 2 line
+  | Ok _ -> Alcotest.fail "a malformed interior line must refuse to load");
+  Sys.remove path
+
+let test_checkpoint_engine_resume () =
+  let path = Filename.temp_file "ckpt" ".jsonl" in
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:false path) in
+  let e1 = Engine.Service.create ~cache:false ~checkpoint:cp () in
+  let req = request (config_of_bit 21) in
+  let m1 = Engine.Service.eval ~engine:e1 req in
+  Engine.Checkpoint.close cp;
+  Engine.Service.shutdown e1;
+  (* A fresh engine (cold cache) over the resumed journal replays the
+     evaluation without a single simulator step, trial cost included. *)
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  let e2 = Engine.Service.create ~cache:false ~checkpoint:cp () in
+  let steps0 = counter "sdm.steps" in
+  let trials0 = counter "measure.trials" in
+  let m2 = Engine.Service.eval ~engine:e2 req in
+  Alcotest.(check bool) "replayed measurement bit-identical" true (same_measurement m1 m2);
+  Alcotest.(check int) "replay runs zero simulator steps" steps0 (counter "sdm.steps");
+  Alcotest.(check bool) "replay re-charges the trial cost" true
+    (counter "measure.trials" > trials0);
+  Engine.Checkpoint.close cp;
+  Engine.Service.shutdown e2;
+  Sys.remove path
 
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
@@ -116,4 +374,38 @@ let () =
       ( "batch",
         [ Alcotest.test_case "order preservation" `Quick test_batch_order ]
         @ qcheck [ prop_backend_equivalence ] );
+      ( "account",
+        [ Alcotest.test_case "atomic charge hammer" `Quick test_account_atomic_hammer ]
+        @ qcheck [ prop_shared_account ] );
+      ( "pool",
+        [
+          Alcotest.test_case "reusable after a raising job" `Quick
+            test_pool_reusable_after_exception;
+          Alcotest.test_case "worker death respawns and requeues" `Quick
+            test_pool_worker_respawn;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "eval_deadlined times out and completes" `Quick
+            test_eval_deadlined;
+          Alcotest.test_case "eval_batch_deadlined on the pool backend" `Quick
+            test_batch_deadlined;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "escalates to success" `Quick test_retry_escalates_to_success;
+          Alcotest.test_case "terminal errors stop immediately" `Quick test_retry_terminal_error;
+          Alcotest.test_case "attempt bound and error folding" `Quick test_retry_bound_and_fold;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "journal round-trips bit-identically" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "torn final line is dropped and truncated" `Quick
+            test_checkpoint_torn_tail;
+          Alcotest.test_case "interior corruption refuses to load" `Quick
+            test_checkpoint_corrupt_middle;
+          Alcotest.test_case "fresh engine resumes from the journal" `Quick
+            test_checkpoint_engine_resume;
+        ] );
     ]

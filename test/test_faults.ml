@@ -182,6 +182,68 @@ let test_error_to_string () =
   Alcotest.(check bool) "names the request" true (contains ~sub:"fm-radio" msg);
   Alcotest.(check bool) "lists the known standards" true (contains ~sub:"bluetooth" msg)
 
+let test_error_examples_roundtrip () =
+  (* One example per constructor: catches a forgotten of_json branch the
+     day a new error variant is added. *)
+  List.iter
+    (fun e ->
+      match Faults.Error.of_json (Faults.Error.to_json e) with
+      | Some e' ->
+        Alcotest.(check bool) ("round-trips: " ^ Faults.Error.to_string e) true (e = e')
+      | None -> Alcotest.fail ("of_json rejected " ^ Faults.Error.to_string e))
+    Faults.Error.all_examples;
+  let msgs = List.map Faults.Error.to_string Faults.Error.all_examples in
+  Alcotest.(check int) "every variant renders a distinct message"
+    (List.length msgs)
+    (List.length (List.sort_uniq compare msgs));
+  Alcotest.(check bool) "no empty rendering" true
+    (List.for_all (fun m -> String.length m > 0) msgs)
+
+(* ---------------------------------------------------------------- Resume *)
+
+let prop_resume_determinism =
+  let ok_cp = function
+    | Ok cp -> cp
+    | Error c -> QCheck.Test.fail_report (Engine.Checkpoint.corruption_to_string c)
+  in
+  QCheck.Test.make
+    ~name:"interrupt at cell k then resume = uninterrupted run, byte for byte" ~count:2
+    QCheck.(pair (int_range 1 50) (int_range 42 43))
+    (fun (k, seed) ->
+      let fresh =
+        match Faults.Campaign.run ~dies:1 ~seed std with
+        | Ok t -> Faults.Report.json_lines t
+        | Error e -> QCheck.Test.fail_report (Faults.Error.to_string e)
+      in
+      let path = Filename.temp_file "campaign" ".jsonl" in
+      (* Run 1: journal to a fresh checkpoint, die after k cells. *)
+      let cp = ok_cp (Engine.Checkpoint.load ~resume:false path) in
+      let engine = Engine.Service.create ~jobs:1 ~checkpoint:cp () in
+      (match Faults.Campaign.run ~dies:1 ~seed ~engine ~interrupt_after:k std with
+      | Ok t ->
+        if Faults.Campaign.complete t then
+          QCheck.Test.fail_report "interrupt_after did not interrupt";
+        if t.Faults.Campaign.completed_cells <> k then
+          QCheck.Test.fail_reportf "stopped after %d cells, wanted %d"
+            t.Faults.Campaign.completed_cells k
+      | Error e ->
+        QCheck.Test.fail_report ("interrupted run errored: " ^ Faults.Error.to_string e));
+      Engine.Checkpoint.close cp;
+      Engine.Service.shutdown engine;
+      (* Run 2: cold cache, resume the journal, run to completion. *)
+      let cp = ok_cp (Engine.Checkpoint.load ~resume:true path) in
+      let engine = Engine.Service.create ~jobs:1 ~checkpoint:cp () in
+      let resumed =
+        match Faults.Campaign.run ~dies:1 ~seed ~engine std with
+        | Ok t -> Faults.Report.json_lines t
+        | Error e ->
+          QCheck.Test.fail_report ("resumed run errored: " ^ Faults.Error.to_string e)
+      in
+      Engine.Checkpoint.close cp;
+      Engine.Service.shutdown engine;
+      Sys.remove path;
+      fresh = resumed)
+
 (* ------------------------------------------------------------------ JSON *)
 
 let test_json_rendering () =
@@ -201,6 +263,7 @@ let test_json_rendering () =
           ]))
 
 let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "faults"
     [
       ( "composition",
@@ -234,6 +297,9 @@ let () =
         [
           Alcotest.test_case "Standards.find_opt" `Quick test_find_opt;
           Alcotest.test_case "Error.to_string" `Quick test_error_to_string;
+          Alcotest.test_case "all variants round-trip through JSON" `Quick
+            test_error_examples_roundtrip;
           Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
         ] );
+      ("resume", qcheck [ prop_resume_determinism ]);
     ]

@@ -362,6 +362,71 @@ let test_counter_determinism () =
     (List.exists (fun (_, v) -> v > 0) first);
   Telemetry.Export.reset_all ()
 
+(* ----------------------------------------------------- cancellation *)
+
+let test_cancel_manual_token () =
+  let tok = Telemetry.Cancel.create ~reason:"stop requested" () in
+  Telemetry.Cancel.with_token tok (fun () ->
+      Telemetry.Cancel.poll ();
+      (* an untripped token is silent *)
+      Telemetry.Cancel.set tok;
+      match Telemetry.Cancel.poll () with
+      | () -> Alcotest.fail "a tripped token must raise at the next poll"
+      | exception Telemetry.Cancel.Cancelled reason ->
+        Alcotest.(check string) "reason carried" "stop requested" reason);
+  (* leaving the scope uninstalls the token *)
+  Telemetry.Cancel.poll ();
+  Alcotest.(check bool) "no token outside the scope" true (Telemetry.Cancel.current () = None)
+
+let test_cancel_deadline_token () =
+  let expired = Telemetry.Cancel.with_deadline 0.0 in
+  Alcotest.(check bool) "zero deadline trips immediately" true
+    (Telemetry.Cancel.is_set expired);
+  (match Telemetry.Cancel.check expired with
+  | () -> Alcotest.fail "check on a tripped deadline must raise"
+  | exception Telemetry.Cancel.Cancelled reason ->
+    Alcotest.(check string) "deadline reason" Telemetry.Cancel.deadline_reason reason);
+  let far = Telemetry.Cancel.with_deadline 3600.0 in
+  Alcotest.(check bool) "future deadline untripped" false (Telemetry.Cancel.is_set far);
+  match Telemetry.Cancel.remaining_s far with
+  | Some r -> Alcotest.(check bool) "remaining time positive" true (r > 0.0)
+  | None -> Alcotest.fail "deadline token must report remaining time"
+
+let test_cancel_nesting_restores () =
+  let outer = Telemetry.Cancel.create ~reason:"outer" () in
+  let inner = Telemetry.Cancel.create ~reason:"inner" () in
+  Telemetry.Cancel.with_token outer (fun () ->
+      Telemetry.Cancel.with_token inner (fun () ->
+          match Telemetry.Cancel.current () with
+          | Some t -> Alcotest.(check string) "innermost wins" "inner" (Telemetry.Cancel.reason t)
+          | None -> Alcotest.fail "no token installed");
+      (* even when the inner scope exits via an exception *)
+      (match
+         Telemetry.Cancel.with_token inner (fun () -> raise Exit)
+       with
+      | () -> Alcotest.fail "expected Exit"
+      | exception Exit -> ());
+      match Telemetry.Cancel.current () with
+      | Some t -> Alcotest.(check string) "outer restored" "outer" (Telemetry.Cancel.reason t)
+      | None -> Alcotest.fail "outer token lost")
+
+let test_cancel_interrupt () =
+  Fun.protect ~finally:Telemetry.Cancel.clear_interrupt (fun () ->
+      Telemetry.Cancel.interrupt ~reason:"SIGINT" ();
+      Alcotest.(check bool) "interrupt pending" true (Telemetry.Cancel.interrupted ());
+      (match Telemetry.Cancel.poll () with
+      | () -> Alcotest.fail "a pending interrupt must raise"
+      | exception Telemetry.Cancel.Cancelled reason ->
+        Alcotest.(check string) "interrupt reason" "SIGINT" reason);
+      (* tick_poll only pays the poll every 4096 samples *)
+      Telemetry.Cancel.tick_poll 1;
+      Telemetry.Cancel.tick_poll 4095;
+      match Telemetry.Cancel.tick_poll 4096 with
+      | () -> Alcotest.fail "tick_poll must poll on the cadence boundary"
+      | exception Telemetry.Cancel.Cancelled _ -> ());
+  Alcotest.(check bool) "interrupt cleared" false (Telemetry.Cancel.interrupted ());
+  Telemetry.Cancel.poll ()
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -383,4 +448,14 @@ let () =
         ] );
       ( "determinism",
         [ Alcotest.test_case "same-seed counter snapshots" `Quick test_counter_determinism ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "manual token trips at the next poll" `Quick
+            test_cancel_manual_token;
+          Alcotest.test_case "deadline tokens" `Quick test_cancel_deadline_token;
+          Alcotest.test_case "nesting restores the outer token" `Quick
+            test_cancel_nesting_restores;
+          Alcotest.test_case "process-global interrupt and tick cadence" `Quick
+            test_cancel_interrupt;
+        ] );
     ]
