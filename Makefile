@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke bench-json bench-json-fast ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke monitor-smoke bench-json bench-json-fast bench-gate ci clean
 
 all: build
 
@@ -73,6 +73,30 @@ resume-smoke: build
 	  --checkpoint /tmp/resume.ckpt.jsonl --resume > /tmp/resume-resumed.out
 	cmp /tmp/resume-fresh.out /tmp/resume-resumed.out
 
+# Live monitoring, end to end: run a monitored campaign, scrape
+# /metrics and /healthz mid-flight, and require a valid OpenMetrics
+# document (terminated by "# EOF") showing nonzero engine activity,
+# a healthz liveness object, and a run manifest with the engine hash.
+monitor-smoke: build
+	rm -f /tmp/monitor-manifest.json /tmp/monitor-scrape.txt /tmp/monitor-healthz.json
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --jobs 2 \
+	  --metrics-port 9187 --manifest /tmp/monitor-manifest.json \
+	  > /tmp/monitor-smoke.out 2>/tmp/monitor-smoke.err & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://127.0.0.1:9187/metrics > /tmp/monitor-scrape.txt 2>/dev/null \
+	    && grep -q '^repro_engine_evals_total [1-9]' /tmp/monitor-scrape.txt && break; \
+	  sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:9187/healthz > /tmp/monitor-healthz.json; \
+	wait $$pid
+	grep -q '^# EOF' /tmp/monitor-scrape.txt
+	grep -q '^repro_engine_evals_total [1-9]' /tmp/monitor-scrape.txt
+	grep -q '^repro_campaign_cells_planned' /tmp/monitor-scrape.txt
+	grep -q '"status":"ok"' /tmp/monitor-healthz.json
+	grep -q '"engine_hash":"[0-9a-f]' /tmp/monitor-manifest.json
+	grep -q 'heartbeat' /tmp/monitor-smoke.err
+
 # Perf trajectory: re-measure the Bechamel kernels and rewrite
 # BENCH_4.json (full quota; commit the result).  The -fast variant is
 # what CI runs on every push — shorter quota, same JSON schema.
@@ -82,7 +106,14 @@ bench-json:
 bench-json-fast:
 	dune exec bench/main.exe -- --quick --fast --json
 
-ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke
+# Regression gate: re-measure at the fast quota and compare against the
+# committed baseline; any kernel blowing past its tolerance (or a
+# kernel that silently stopped running) fails the build (exit 4).
+bench-gate:
+	dune exec bench/main.exe -- --quick --fast --json \
+	  --out /tmp/bench-gate.json --compare BENCH_4.json
+
+ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke monitor-smoke bench-gate
 
 clean:
 	dune clean

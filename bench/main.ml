@@ -241,25 +241,52 @@ let tests =
 
 let bench_json_file = "BENCH_4.json"
 
-(* Machine-readable perf trajectory: one object per kernel with ns/run
-   and minor words/run, sorted by name so re-runs diff cleanly. *)
-let write_json results =
-  let num x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null" in
-  let oc = open_out bench_json_file in
-  output_string oc "{\n  \"schema\": \"bench-kernels/1\",\n  \"results\": [\n";
-  let sorted = List.sort compare results in
-  List.iteri
-    (fun i (name, ns, mwd) ->
-      Printf.fprintf oc
-        "    { \"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
-        name (num ns) (num mwd)
-        (if i = List.length sorted - 1 then "" else ","))
-    sorted;
-  output_string oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s (%d kernels)\n" bench_json_file (List.length sorted)
+(* Machine-readable perf trajectory (schema bench-kernels/2, stamped
+   with a run manifest), sorted by name so re-runs diff cleanly. *)
+let write_json ~out results =
+  let kernels =
+    List.map
+      (fun (name, ns, mwd) ->
+        { Benchkit.Bench_json.name; ns_per_run = ns; minor_words_per_run = mwd })
+      results
+  in
+  let manifest = Telemetry.Manifest.create () in
+  Telemetry.Manifest.finish ~exit_status:0 manifest;
+  Benchkit.Bench_json.write ~path:out ~manifest kernels;
+  Printf.printf "\nwrote %s (%d kernels)\n" out (List.length kernels)
 
-let run_benchmarks ~fast ~json ~only () =
+(* The regression gate: compare this run against a committed baseline
+   (v1 or v2); any regression or — for full runs — missing kernel is
+   fatal (exit 4) so CI fails the build. *)
+let compare_against ~baseline_path ~require_all results =
+  match Benchkit.Bench_json.read baseline_path with
+  | Error reason ->
+    Printf.eprintf "bench: cannot read baseline %s: %s\n" baseline_path reason;
+    exit 4
+  | Ok baseline ->
+    let current =
+      List.map
+        (fun (name, ns, mwd) ->
+          { Benchkit.Bench_json.name; ns_per_run = ns; minor_words_per_run = mwd })
+        results
+    in
+    let comparisons =
+      Benchkit.Bench_json.compare_results ~baseline:baseline.Benchkit.Bench_json.kernels
+        ~current ~require_all
+    in
+    let bad = Benchkit.Bench_json.regressions comparisons in
+    Printf.printf "\n## Regression gate vs %s (schema v%d)\n" baseline_path
+      baseline.Benchkit.Bench_json.schema;
+    List.iter (fun c -> Printf.printf "  %s\n" (Benchkit.Bench_json.verdict_to_string c))
+      (if bad = [] then comparisons else bad);
+    if bad = [] then Printf.printf "  gate: PASS (%d kernels)\n" (List.length comparisons)
+    else begin
+      Printf.printf "  gate: FAIL (%d regression%s)\n" (List.length bad)
+        (if List.length bad = 1 then "" else "s");
+      exit 4
+    end
+
+let run_benchmarks ~fast ~json ~out ~compare_to ~only () =
   print_endline "## Bechamel timings (one Test per figure/table kernel)";
   let limit, quota = if fast then (20, 0.25) else (50, 1.0) in
   let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
@@ -310,7 +337,10 @@ let run_benchmarks ~fast ~json ~only () =
     (fun (name, ns, mwd) ->
       Printf.printf "  %-28s %12s / run  %10.0f mWd / run\n" name (pretty_ns ns) mwd)
     (List.sort compare results);
-  if json then write_json results;
+  if json then write_json ~out:(Option.value out ~default:bench_json_file) results;
+  (match compare_to with
+  | None -> ()
+  | Some baseline_path -> compare_against ~baseline_path ~require_all:(only = None) results);
   (* Anchor the attack-cost table with the measured behavioural-sim
      trial time: even a simulator millions of times faster than the
      paper's 20-minute transistor-level runs leaves brute force
@@ -370,14 +400,17 @@ let () =
   let metrics = Array.exists (( = ) "--metrics") Sys.argv in
   let fast = Array.exists (( = ) "--fast") Sys.argv in
   let json = Array.exists (( = ) "--json") Sys.argv in
-  let only =
+  let arg_value flag =
     let rec find = function
-      | "--only" :: v :: _ -> Some v
+      | f :: v :: _ when f = flag -> Some v
       | _ :: tl -> find tl
       | [] -> None
     in
     find (Array.to_list Sys.argv)
   in
+  let only = arg_value "--only" in
+  let out = arg_value "--out" in
+  let compare = arg_value "--compare" in
   if metrics then Telemetry.Control.set_enabled true;
   Printf.printf "calibrating the reference die ...\n%!";
   let c = Lazy.force ctx in
@@ -385,7 +418,7 @@ let () =
     c.Experiments.Context.calibration.Calibration.Calibrate.snr_mod_db
     c.Experiments.Context.calibration.Calibration.Calibrate.snr_rx_db
     c.Experiments.Context.calibration.Calibration.Calibrate.sfdr_db;
-  run_benchmarks ~fast ~json ~only ();
+  run_benchmarks ~fast ~json ~out ~compare_to:compare ~only ();
   if not quick then run_harness ();
   if metrics then begin
     print_newline ();

@@ -55,6 +55,82 @@ let telemetry_term =
   in
   Term.(const setup $ metrics_arg $ trace_arg $ trace_jsonl_arg)
 
+(* The process exit status, recorded on every deliberate exit path so
+   the at_exit manifest writer can stamp it (at_exit handlers cannot
+   see the exit code themselves). *)
+let exit_status_r : int option ref = ref None
+
+let exit_with code =
+  exit_status_r := Some code;
+  exit code
+
+(* Live-monitoring plumbing: `--log-level` and `--log-jsonl` drive the
+   structured logger, `--metrics-port N` starts the loopback scrape
+   server (GET /metrics, GET /healthz) and enables heartbeats, and
+   `--manifest FILE` writes a run-provenance record at exit
+   (`--metrics-port` implies one at repro-manifest.json).  None of it
+   touches stdout, so monitored figure output stays byte-identical. *)
+let monitor_term =
+  let log_level_arg =
+    let doc = "Log threshold for stderr/JSONL structured logging (debug|info|warn|error)." in
+    Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_jsonl_arg =
+    let doc = "Also write structured log events as JSON lines to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "log-jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_port_arg =
+    let doc =
+      "Serve live metrics on 127.0.0.1:$(docv) while the run is in flight: $(b,GET /metrics) \
+       (OpenMetrics text) and $(b,GET /healthz) (JSON).  Enables heartbeat log lines."
+    in
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let manifest_arg =
+    let doc = "Write a run-provenance manifest (argv, seed, engine hash, timestamps) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let setup log_level log_jsonl metrics_port manifest =
+    let explicit_level =
+      match log_level with
+      | None -> false
+      | Some s -> (
+        match Telemetry.Log.level_of_string s with
+        | Some l ->
+          Telemetry.Log.set_level l;
+          true
+        | None ->
+          Printf.eprintf "unknown log level %s (use debug|info|warn|error)\n" s;
+          exit 2)
+    in
+    Option.iter Telemetry.Log.to_file log_jsonl;
+    (match metrics_port with
+    | None -> ()
+    | Some port ->
+      (* Heartbeats are info-level: a monitored run should show them
+         unless the user explicitly asked for quieter logs. *)
+      if not explicit_level then Telemetry.Log.set_level Telemetry.Log.Info;
+      (match Telemetry.Monitor.start_server ~port with
+      | Ok _ -> ()
+      | Error reason ->
+        Printf.eprintf "%s\n" reason;
+        exit 2));
+    let manifest_path =
+      match manifest with
+      | Some _ -> manifest
+      | None -> if metrics_port <> None then Some "repro-manifest.json" else None
+    in
+    match manifest_path with
+    | None -> ()
+    | Some path ->
+      let m = Telemetry.Manifest.create () in
+      at_exit (fun () ->
+          Telemetry.Manifest.finish ?exit_status:!exit_status_r m;
+          try Telemetry.Manifest.write path m
+          with Sys_error reason -> Printf.eprintf "cannot write manifest %s: %s\n" path reason)
+  in
+  Term.(const setup $ log_level_arg $ log_jsonl_arg $ metrics_port_arg $ manifest_arg)
+
 (* The CLI's --deadline, stashed so commands with their own supervised
    run loop (faults) can thread it as a typed campaign deadline rather
    than relying only on the engine-wide token. *)
@@ -133,7 +209,8 @@ let engine_term =
   Term.(const setup $ jobs_arg $ no_cache_arg $ checkpoint_arg $ resume_arg $ deadline_arg)
 
 (* One combined setup hook so subcommand signatures stay `run ()`. *)
-let setup_term = Term.(const (fun () () -> ()) $ telemetry_term $ engine_term)
+let setup_term =
+  Term.(const (fun () () () -> ()) $ telemetry_term $ monitor_term $ engine_term)
 
 let fast_arg =
   let doc = "Fast mode: shorter captures and a single-pass calibration." in
@@ -216,13 +293,13 @@ let faults () seed standard dies json interrupt_after =
   with
   | Error (Faults.Error.Deadline_exceeded _ as e) ->
     Printf.eprintf "%s\n" (Faults.Error.to_string e);
-    exit 3
+    exit_with 3
   | Error e ->
     Printf.eprintf "%s\n" (Faults.Error.to_string e);
-    exit 2
+    exit_with 2
   | Ok campaign ->
     if json then Faults.Report.print_json campaign else Faults.Report.print campaign;
-    if not (Faults.Campaign.complete campaign) then exit 130
+    if not (Faults.Campaign.complete campaign) then exit_with 130
 
 let onchip () fast seed standard =
   let ctx = context ~fast ~seed ~standard in
@@ -396,7 +473,7 @@ let () =
   in
   (* ~catch:false so a cancellation that no supervised layer converted
      to data surfaces here instead of as a cmdliner backtrace. *)
-  try exit (Cmd.eval ~catch:false (Cmd.group info commands))
+  try exit_with (Cmd.eval ~catch:false (Cmd.group info commands))
   with Telemetry.Cancel.Cancelled reason ->
     Printf.eprintf "\ninterrupted: %s\n" reason;
-    exit (if reason = Telemetry.Cancel.deadline_reason then 3 else 130)
+    exit_with (if reason = Telemetry.Cancel.deadline_reason then 3 else 130)

@@ -1,0 +1,72 @@
+(** The bench JSON trajectory file ("bench-kernels/2") and its
+    regression gate.
+
+    The writer stamps each file with a run {!Telemetry.Manifest};
+    the reader also accepts the seed's "bench-kernels/1" files (no
+    manifest), so gates keep working against old committed baselines.
+    The gate applies generous multiplicative tolerances — baseline and
+    CI run on different machines and bench quotas, so only
+    multiple-of-baseline blowups are actionable — with extra headroom
+    for sub-microsecond kernels and an absolute allocation slack. *)
+
+type kernel = {
+  name : string;
+  ns_per_run : float;  (** nan when the harness could not estimate *)
+  minor_words_per_run : float;
+}
+
+type file = {
+  schema : int;  (** 1 or 2 *)
+  manifest : Telemetry.Manifest.t option;  (** schema 2 only *)
+  kernels : kernel list;
+}
+
+val schema_name : string
+
+val write : path:string -> ?manifest:Telemetry.Manifest.t -> kernel list -> unit
+(** Write a schema-2 file, kernels sorted by name. *)
+
+val read : string -> (file, string) result
+val of_string : string -> (file, string) result
+
+(** {1 Regression gate} *)
+
+type tolerance = {
+  ns_ratio : float;  (** fail when current ns > baseline * ratio *)
+  mwd_ratio : float;
+  mwd_slack : float;  (** absolute words added to the mwd limit *)
+}
+
+val default_tolerance : tolerance
+
+val tolerance_for : string -> tolerance
+(** Per-kernel tolerance: sub-microsecond kernels get a wider
+    [ns_ratio]; fsync-bound kernels (disk-latency-dominated) only
+    fail on an order-of-magnitude blowup. *)
+
+type verdict =
+  | Pass
+  | Regressed of {
+      field : string;
+      baseline : float;
+      current : float;
+      limit : float;
+    }
+  | Missing  (** in the baseline, absent from the current run *)
+
+type comparison = {
+  kernel : string;
+  verdict : verdict;
+}
+
+val compare_results :
+  baseline:kernel list -> current:kernel list -> require_all:bool -> comparison list
+(** One comparison per baseline kernel, name order.  Kernels only in
+    the current run pass silently; baseline kernels absent from the
+    run are [Missing] only under [require_all] (full-suite gates, not
+    [--only] runs). *)
+
+val regressions : comparison list -> comparison list
+(** The non-[Pass] subset. *)
+
+val verdict_to_string : comparison -> string

@@ -221,7 +221,14 @@ let run ?(passes = 2) ?(refine_sfdr = true) ?(max_retries = 2) rx =
   in
   let o =
     Engine.Retry.run ~retryable ~keep policy (fun ~attempt (p, offsets) ->
-        if attempt > 1 then Telemetry.Counter.incr retries_counter;
+        if attempt > 1 then begin
+          Telemetry.Counter.incr retries_counter;
+          (* An escalation that may still succeed is routine (fig10
+             hits one on a healthy run); only degraded outcomes warn. *)
+          Telemetry.Log.info
+            ~fields:[ ("attempt", string_of_int attempt); ("passes", string_of_int p) ]
+            "calibrate: escalating retry"
+        end;
         attempt_with ~passes:p ~refine_sfdr ~offsets rx)
   in
   match o.Engine.Retry.result with
@@ -231,10 +238,16 @@ let run ?(passes = 2) ?(refine_sfdr = true) ?(max_retries = 2) rx =
   | Error (Tank_dead { log; measurements } as f) ->
     (* No amount of re-running steps 1-7 revives a silent tank. *)
     Telemetry.Counter.incr tank_dead_counter;
+    Telemetry.Log.warn
+      ~fields:[ ("attempts", string_of_int o.Engine.Retry.attempts) ]
+      "calibrate: degraded (tank dead)";
     let report = dead_report ~log ~measurements in
     { report; verdict = Degraded f; attempts = o.Engine.Retry.attempts }
   | Error (Spec_shortfall { report; _ } as f) ->
     Telemetry.Counter.incr spec_shortfall_counter;
+    Telemetry.Log.warn
+      ~fields:[ ("attempts", string_of_int o.Engine.Retry.attempts) ]
+      "calibrate: degraded (spec shortfall)";
     { report; verdict = Degraded f; attempts = o.Engine.Retry.attempts }
 
 let quick rx =

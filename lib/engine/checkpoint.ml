@@ -37,6 +37,7 @@ let hits_counter = Telemetry.Counter.make "engine.checkpoint.hits"
 let records_counter = Telemetry.Counter.make "engine.checkpoint.records"
 let resumed_counter = Telemetry.Counter.make "engine.checkpoint.resumed"
 let torn_counter = Telemetry.Counter.make "engine.checkpoint.torn"
+let mismatch_counter = Telemetry.Counter.make "engine.checkpoint.provenance_mismatch"
 
 (* ------------------------------------------------------- serialisation *)
 
@@ -56,7 +57,15 @@ let escape s =
     s;
   Buffer.contents buf
 
-let header_line = Printf.sprintf {|{"type":"journal","version":%d}|} version
+(* The header carries the engine's content hash (optional field — v1
+   journals without it still load).  A resume under a different binary
+   is not an error: values are content-keyed, so at worst the new code
+   recomputes what no longer matches — but it *is* worth a warning and
+   a counter, because "resumed under different code" explains most
+   surprising resume diffs. *)
+let header_line () =
+  Printf.sprintf {|{"type":"journal","version":%d,"engine":"%s"}|} version
+    (escape (Telemetry.Manifest.engine_hash ()))
 
 (* Floats as OCaml hexadecimal literals ("%h"): exact round-trip
    through [float_of_string] for every finite value and the infinities,
@@ -215,21 +224,34 @@ let parse_entry line =
   | S other -> raise (Bad (Printf.sprintf "unknown record type %S" other))
   | _ -> raise (Bad "field \"type\" must be a string")
 
+(* Returns the recorded engine hash when the header carries one. *)
 let parse_header line =
   let fields = parse_fields line in
   (match field fields "type" with
   | S "journal" -> ()
   | _ -> raise (Bad "not a journal header"));
-  match field fields "version" with
+  (match field fields "version" with
   | I v when v = version -> ()
   | I v -> raise (Bad (Printf.sprintf "unsupported journal version %d" v))
-  | _ -> raise (Bad "field \"version\" must be an integer")
+  | _ -> raise (Bad "field \"version\" must be an integer"));
+  match List.assoc_opt "engine" fields with Some (S h) -> Some h | _ -> None
+
+let verify_provenance path = function
+  | None -> ()  (* journal predates provenance headers *)
+  | Some recorded ->
+    let current = Telemetry.Manifest.engine_hash () in
+    if recorded <> current && recorded <> "unknown" && current <> "unknown" then begin
+      Telemetry.Counter.incr mismatch_counter;
+      Telemetry.Log.warn
+        ~fields:[ ("path", path); ("recorded", recorded); ("current", current) ]
+        "checkpoint: journal was written by a different engine build"
+    end
 
 (* --------------------------------------------------------- open / load *)
 
 let fresh_channel path =
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
-  output_string oc header_line;
+  output_string oc (header_line ());
   output_char oc '\n';
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc);
@@ -279,7 +301,7 @@ let load ~resume path =
                raise Exit
              end;
              try
-               if idx = 0 then parse_header line
+               if idx = 0 then verify_provenance path (parse_header line)
                else begin
                  let key, value = parse_entry line in
                  if not (Hashtbl.mem table key) then begin

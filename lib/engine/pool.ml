@@ -22,6 +22,17 @@ exception Worker_killed
 
 let restarts_counter = Telemetry.Counter.make "pool.worker.restarts"
 
+(* Scheduling diagnostics (see DESIGN §12): [pool.queue.wait_ns] is the
+   latency from job post to each lane's *first* claim of that job —
+   direct evidence of how long freshly woken domains take to reach the
+   cursor; [pool.lane.busy] is the number of busy lanes observed at
+   every claim, i.e. the occupancy the job actually achieved.  Both are
+   recorded under the pool mutex the claim already holds. *)
+let queue_wait_hist = Telemetry.Histogram.make "pool.queue.wait_ns"
+let lane_busy_hist = Telemetry.Histogram.make "pool.lane.busy"
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
 type t = {
   m : Mutex.t;
   work_ready : Condition.t;
@@ -30,6 +41,8 @@ type t = {
   mutable next : int;
   mutable orphans : int list;  (* indices claimed by a lane that died *)
   inflight : int array;  (* per-lane claimed index, -1 when idle; slot [workers] is the main lane *)
+  claim_gen : int array;  (* generation of each lane's last first-claim *)
+  mutable posted_ns : int64;  (* when the current job was posted *)
   mutable total : int;
   mutable completed : int;
   mutable failure : exn option;
@@ -53,11 +66,24 @@ let claim_locked t =
     end
     else None
 
+(* Claim-site diagnostics; caller holds the mutex and has just marked
+   its lane busy. *)
+let observe_claim t ~slot =
+  if t.claim_gen.(slot) <> t.generation then begin
+    t.claim_gen.(slot) <- t.generation;
+    Telemetry.Histogram.observe queue_wait_hist
+      (Int64.to_float (Int64.sub (now_ns ()) t.posted_ns))
+  end;
+  let busy = ref 0 in
+  Array.iter (fun i -> if i >= 0 then incr busy) t.inflight;
+  Telemetry.Histogram.observe lane_busy_hist (float_of_int !busy)
+
 (* Run one claimed index.  The mutex is held on entry and exit — except
    on a worker lane hit by [Worker_killed], which requeues its index,
    unlocks and re-raises so the supervisor can replace the domain. *)
 let step t f ~slot i =
   t.inflight.(slot) <- i;
+  observe_claim t ~slot;
   Mutex.unlock t.m;
   match f i with
   | () ->
@@ -125,8 +151,15 @@ let rec supervise t ~slot ~last_gen () =
       t.inflight.(slot) <- -1
     end;
     (match e with
-    | Worker_killed -> ()
-    | e -> if t.failure = None then t.failure <- Some e);
+    | Worker_killed ->
+      Telemetry.Log.debug
+        ~fields:[ ("slot", string_of_int slot) ]
+        "pool: worker killed (test hook), respawning"
+    | e ->
+      if t.failure = None then t.failure <- Some e;
+      Telemetry.Log.warn
+        ~fields:[ ("slot", string_of_int slot); ("exn", Printexc.to_string e) ]
+        "pool: worker domain died, respawning");
     Telemetry.Counter.incr restarts_counter;
     if not t.shutdown then begin
       let join_gen = t.generation - 1 in
@@ -162,6 +195,8 @@ let create workers =
       next = 0;
       orphans = [];
       inflight = Array.make (workers + 1) (-1);
+      claim_gen = Array.make (workers + 1) 0;
+      posted_ns = 0L;
       total = 0;
       completed = 0;
       failure = None;
@@ -179,6 +214,20 @@ let create workers =
 
 let workers t = t.workers
 
+type stats = {
+  lanes : int;
+  busy_lanes : int;
+  job_active : bool;
+}
+
+let stats t =
+  Mutex.lock t.m;
+  let busy = ref 0 in
+  Array.iter (fun i -> if i >= 0 then incr busy) t.inflight;
+  let s = { lanes = t.workers + 1; busy_lanes = !busy; job_active = t.job <> None } in
+  Mutex.unlock t.m;
+  s
+
 let run t f n =
   if n > 0 then begin
     Mutex.lock t.m;
@@ -193,6 +242,7 @@ let run t f n =
     t.completed <- 0;
     t.failure <- None;
     t.generation <- t.generation + 1;
+    t.posted_ns <- now_ns ();
     Condition.broadcast t.work_ready;
     (* The caller is a lane too; it also mops up orphans left by dead
        workers, so completion never depends on a respawn racing in. *)

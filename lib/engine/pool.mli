@@ -25,6 +25,19 @@ val create : int -> t
 
 val workers : t -> int
 
+type stats = {
+  lanes : int;  (** workers + the participating main lane *)
+  busy_lanes : int;  (** lanes holding a claimed index right now *)
+  job_active : bool;
+}
+
+val stats : t -> stats
+(** Instantaneous occupancy snapshot (takes the pool mutex briefly);
+    safe from any domain, used by the live monitor.  Scheduling
+    history accumulates in the [pool.queue.wait_ns] (post-to-first-
+    claim latency per lane per job) and [pool.lane.busy] (occupancy
+    observed at each claim) histograms. *)
+
 val run : t -> (int -> unit) -> int -> unit
 
 val shutdown : t -> unit

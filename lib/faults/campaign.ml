@@ -113,7 +113,7 @@ let split_at n xs =
    both land on chunk boundaries, so [completed] is exact when either
    fires.  [interrupt_after] shrinks a chunk to cut at precisely that
    many completed cells — the deterministic stand-in for a SIGINT. *)
-let eval_chunked ?engine ~tok ~completed ~interrupt_after reqs =
+let eval_chunked ?engine ~tok ~completed ~total ~interrupt_after reqs =
   let rec go acc reqs =
     match reqs with
     | [] -> List.concat (List.rev acc)
@@ -145,6 +145,9 @@ let eval_chunked ?engine ~tok ~completed ~interrupt_after reqs =
             assert false (* no account is attached to campaign batches *))
       in
       completed := !completed + List.length batch;
+      (* Live monitoring: progress lands on the same chunk boundaries
+         that make [completed] exact for deadline/interrupt reports. *)
+      Telemetry.Monitor.set_progress ~completed:!completed ~total:(max !total !completed);
       go (ms :: acc) rest
   in
   go [] reqs
@@ -187,7 +190,16 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
         completed_cells = !completed;
       }
     in
-    let eval_chunked reqs = eval_chunked ?engine ~tok ~completed ~interrupt_after reqs in
+    let eval_chunked reqs = eval_chunked ?engine ~tok ~completed ~total ~interrupt_after reqs in
+    Telemetry.Log.info
+      ~fields:
+        [
+          ("standard", standard.Rfchain.Standards.name);
+          ("dies", string_of_int dies);
+          ("seed", string_of_int seed);
+          ("deadline_s", match deadline_s with Some d -> Printf.sprintf "%g" d | None -> "-");
+        ]
+      "campaign: starting";
     match
       with_tok @@ fun () ->
       (* Calibrate each die of the lot while healthy: the campaign asks
@@ -233,6 +245,7 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
           lot
       in
       total := List.length cell_points + Rfchain.Config.key_bits;
+      Telemetry.Monitor.set_progress ~completed:!completed ~total:!total;
       let cell_snrs =
         eval_chunked
           (List.map
@@ -281,6 +294,7 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
       let probes = List.combine bits probe_snrs in
       let survivor_bits = List.filter (fun (_, snr) -> snr >= min_snr) probes in
       total := !total + List.length survivor_bits;
+      Telemetry.Monitor.set_progress ~completed:!completed ~total:!total;
       let survivor_checks =
         eval_chunked
           (List.map
@@ -330,6 +344,9 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
     with
     | result -> result
     | exception Deadline ->
+      Telemetry.Log.warn
+        ~fields:[ ("completed", string_of_int !completed); ("total", string_of_int !total) ]
+        "campaign: deadline exceeded";
       Error
         (Error.Deadline_exceeded
            {
@@ -339,6 +356,9 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
            })
     | exception Telemetry.Cancel.Cancelled reason
       when deadline_s <> None && reason = Telemetry.Cancel.deadline_reason ->
+      Telemetry.Log.warn
+        ~fields:[ ("completed", string_of_int !completed); ("total", string_of_int !total) ]
+        "campaign: deadline exceeded";
       Error
         (Error.Deadline_exceeded
            {
@@ -347,11 +367,27 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
              total = !total;
            })
     | exception Halt reason ->
+      Telemetry.Log.warn
+        ~fields:
+          [
+            ("reason", reason);
+            ("completed", string_of_int !completed);
+            ("total", string_of_int !total);
+          ]
+        "campaign: interrupted";
       interrupted_r := Some reason;
       Ok (finish ())
     | exception Telemetry.Cancel.Cancelled reason ->
       (* A SIGINT (or an outer token): everything journalled so far is
          durable; report what completed, marked incomplete. *)
+      Telemetry.Log.warn
+        ~fields:
+          [
+            ("reason", reason);
+            ("completed", string_of_int !completed);
+            ("total", string_of_int !total);
+          ]
+        "campaign: interrupted";
       interrupted_r := Some reason;
       Ok (finish ())
   end

@@ -92,6 +92,9 @@ let cancels_counter = Counter.make "cancel.cancelled"
 
 let poll () =
   Counter.incr polls_counter;
+  (* Heartbeats ride the poll cadence: the monitor rate-limits
+     internally and costs one atomic load when disabled. *)
+  Monitor.tick ();
   if Atomic.get interrupt_flag then begin
     Counter.incr cancels_counter;
     raise (Cancelled (Atomic.get interrupt_reason))

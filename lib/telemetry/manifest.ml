@@ -1,0 +1,284 @@
+(* Run provenance.
+
+   A manifest is the who/what/when of one run: the exact argv, the
+   seed it encodes, a content hash of the running executable (the
+   "engine"), a digest of the effective configuration, the compiler
+   version, and start/end timestamps with the exit status.  One is
+   written next to every report produced under live monitoring, and
+   the engine hash is embedded in checkpoint journal headers so a
+   resume can tell when it is replaying values produced by different
+   code.
+
+   Serialisation is a single flat JSON object (argv as a string
+   array), parsed back by the same kind of minimal reader the
+   checkpoint journal uses — strings, integers, null and string
+   arrays, nothing more. *)
+
+type t = {
+  schema : int;
+  argv : string list;
+  seed : int option;
+  engine_hash : string;
+  config_digest : string;
+  ocaml_version : string;
+  hostname : string;
+  start_ns : int64;
+  mutable end_ns : int64 option;
+  mutable exit_status : int option;
+}
+
+let schema_version = 1
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* MD5 of the running binary: the closest thing to a content address
+   of "the engine" available without new dependencies.  Memoised —
+   hashing a multi-megabyte executable is not free and the answer
+   cannot change mid-process. *)
+let engine_hash =
+  let memo = lazy (try Digest.to_hex (Digest.file Sys.executable_name) with _ -> "unknown") in
+  fun () -> Lazy.force memo
+
+let config_digest_of argv = Digest.to_hex (Digest.string (String.concat "\x00" argv))
+
+(* The seed is CLI provenance, so read it back out of argv rather than
+   threading a parameter through every subcommand. *)
+let seed_of_argv argv =
+  let rec go = function
+    | [] -> None
+    | arg :: rest ->
+      let prefixed p = String.length arg > String.length p && String.sub arg 0 (String.length p) = p in
+      if arg = "--seed" then
+        match rest with
+        | v :: _ -> int_of_string_opt v
+        | [] -> None
+      else if prefixed "--seed=" then int_of_string_opt (String.sub arg 7 (String.length arg - 7))
+      else go rest
+  in
+  go argv
+
+let create ?argv ?seed () =
+  let argv = match argv with Some a -> a | None -> Array.to_list Sys.argv in
+  {
+    schema = schema_version;
+    argv;
+    seed = (match seed with Some _ -> seed | None -> seed_of_argv argv);
+    engine_hash = engine_hash ();
+    config_digest = config_digest_of argv;
+    ocaml_version = Sys.ocaml_version;
+    hostname = Unix.gethostname ();
+    start_ns = now_ns ();
+    end_ns = None;
+    exit_status = None;
+  }
+
+let finish ?exit_status t =
+  t.end_ns <- Some (now_ns ());
+  t.exit_status <- exit_status
+
+(* -------------------------------------------------------------- to JSON *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let opt_int = function None -> "null" | Some i -> string_of_int i in
+  let opt_int64 = function None -> "null" | Some i -> Printf.sprintf "%Ld" i in
+  Printf.sprintf
+    {|{"type":"manifest","schema":%d,"argv":[%s],"seed":%s,"engine_hash":"%s","config_digest":"%s","ocaml_version":"%s","hostname":"%s","start_ns":%Ld,"end_ns":%s,"exit_status":%s}|}
+    t.schema
+    (String.concat "," (List.map (fun a -> "\"" ^ escape a ^ "\"") t.argv))
+    (opt_int t.seed) (escape t.engine_hash) (escape t.config_digest) (escape t.ocaml_version)
+    (escape t.hostname) t.start_ns (opt_int64 t.end_ns) (opt_int t.exit_status)
+
+(* ------------------------------------------------------------ from JSON *)
+
+type jv = S of string | I of int64 | A of string list | Null
+
+exception Bad of string
+
+let parse_flat line =
+  let n = String.length line in
+  let i = ref 0 in
+  let skip_ws () =
+    while
+      !i < n && (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r' || line.[!i] = '\n')
+    do
+      incr i
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !i < n && line.[!i] = c then incr i
+    else raise (Bad (Printf.sprintf "expected '%c' at byte %d" c !i))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !i >= n then raise (Bad "unterminated string");
+      let c = line.[!i] in
+      incr i;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !i >= n then raise (Bad "truncated escape");
+        let e = line.[!i] in
+        incr i;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !i + 4 > n then raise (Bad "truncated \\u escape");
+          let code =
+            try int_of_string ("0x" ^ String.sub line !i 4) with _ -> raise (Bad "bad \\u escape")
+          in
+          i := !i + 4;
+          Buffer.add_char buf (Char.chr (code land 0xff))
+        | _ -> raise (Bad "unknown escape"));
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_int () =
+    let start = !i in
+    if !i < n && line.[!i] = '-' then incr i;
+    while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do
+      incr i
+    done;
+    if !i = start then raise (Bad "unrecognised value");
+    match Int64.of_string_opt (String.sub line start (!i - start)) with
+    | Some v -> v
+    | None -> raise (Bad "bad integer")
+  in
+  let parse_value () =
+    skip_ws ();
+    if !i >= n then raise (Bad "missing value")
+    else if line.[!i] = '"' then S (parse_string ())
+    else if line.[!i] = '[' then begin
+      incr i;
+      skip_ws ();
+      if !i < n && line.[!i] = ']' then begin
+        incr i;
+        A []
+      end
+      else begin
+        let items = ref [] in
+        let parsing = ref true in
+        while !parsing do
+          items := parse_string () :: !items;
+          skip_ws ();
+          if !i < n && line.[!i] = ',' then incr i
+          else begin
+            expect ']';
+            parsing := false
+          end
+        done;
+        A (List.rev !items)
+      end
+    end
+    else if !i + 4 <= n && String.sub line !i 4 = "null" then begin
+      i := !i + 4;
+      Null
+    end
+    else I (parse_int ())
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !i < n && line.[!i] = '}' then incr i
+  else begin
+    let parsing = ref true in
+    while !parsing do
+      let k = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      if !i < n && line.[!i] = ',' then incr i
+      else begin
+        expect '}';
+        parsing := false
+      end
+    done
+  end;
+  skip_ws ();
+  if !i <> n then raise (Bad "trailing bytes after object");
+  List.rev !fields
+
+let of_json s =
+  match parse_flat s with
+  | exception Bad reason -> Error reason
+  | fields -> (
+    let find name =
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+    in
+    let str name = match find name with S s -> s | _ -> raise (Bad (name ^ " must be a string")) in
+    let int64 name = match find name with I v -> v | _ -> raise (Bad (name ^ " must be an integer")) in
+    try
+      (match find "type" with
+      | S "manifest" -> ()
+      | _ -> raise (Bad "not a manifest"));
+      let schema = Int64.to_int (int64 "schema") in
+      if schema <> schema_version then
+        raise (Bad (Printf.sprintf "unsupported manifest schema %d" schema));
+      Ok
+        {
+          schema;
+          argv = (match find "argv" with A a -> a | _ -> raise (Bad "argv must be an array"));
+          seed =
+            (match find "seed" with
+            | Null -> None
+            | I v -> Some (Int64.to_int v)
+            | _ -> raise (Bad "seed must be an integer or null"));
+          engine_hash = str "engine_hash";
+          config_digest = str "config_digest";
+          ocaml_version = str "ocaml_version";
+          hostname = str "hostname";
+          start_ns = int64 "start_ns";
+          end_ns =
+            (match find "end_ns" with
+            | Null -> None
+            | I v -> Some v
+            | _ -> raise (Bad "end_ns must be an integer or null"));
+          exit_status =
+            (match find "exit_status" with
+            | Null -> None
+            | I v -> Some (Int64.to_int v)
+            | _ -> raise (Bad "exit_status must be an integer or null"));
+        }
+    with Bad reason -> Error reason)
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | raw -> of_json (String.trim raw)

@@ -1,0 +1,130 @@
+(* OpenMetrics / Prometheus text exposition of the telemetry registries.
+
+   Renders the always-on counter and histogram registries (and, when
+   span recording is enabled, the span aggregates) in the OpenMetrics
+   text format, ready for a `GET /metrics` scrape or a textfile
+   collector.  Counters become `<name>_total`; histograms and span
+   aggregates become summaries (quantile series + `_sum`/`_count`),
+   which carries exactly what the log-bucket histograms can answer
+   without inventing cumulative buckets they do not keep.
+
+   Metric names are sanitised to the OpenMetrics charset: every byte
+   outside [a-zA-Z0-9_:] maps to '_', and everything is prefixed
+   "repro_" so scrapes from several tools never collide.  The
+   registries are safe to render from the scrape server's domain:
+   counters are atomics, histogram tables are populated at module
+   initialisation, and the span table takes its registration lock. *)
+
+type gauge = {
+  g_name : string;  (* unsanitised; unit suffix included by the caller *)
+  g_labels : (string * string) list;
+  g_value : float;
+  g_help : string;
+}
+
+let gauge ?(labels = []) ?(help = "") name value =
+  { g_name = name; g_labels = labels; g_value = value; g_help = help }
+
+let sanitize name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+         || c = ':'
+      then c
+      else '_')
+    name
+
+let metric_name name = "repro_" ^ sanitize name
+
+(* Label values escape backslash, double quote and newline, per the
+   exposition-format grammar. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels_string = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v)) labels)
+    ^ "}"
+
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let add_meta buf ~name ~mtype ~help =
+  Printf.bprintf buf "# TYPE %s %s\n" name mtype;
+  if help <> "" then Printf.bprintf buf "# HELP %s %s\n" name (escape_label help)
+
+let render ?(gauges = []) () =
+  let buf = Buffer.create 4096 in
+  (* Counters, name-sorted (Counter.snapshot sorts). *)
+  List.iter
+    (fun (name, v) ->
+      let name = metric_name name ^ "_total" in
+      add_meta buf ~name ~mtype:"counter" ~help:"";
+      Printf.bprintf buf "%s %d\n" name v)
+    (Counter.snapshot ());
+  (* Histograms as summaries. *)
+  List.iter
+    (fun (h : Histogram.summary) ->
+      if h.Histogram.h_count > 0 then begin
+        let name = metric_name h.Histogram.h_name in
+        add_meta buf ~name ~mtype:"summary" ~help:"";
+        Printf.bprintf buf "%s{quantile=\"0.5\"} %s\n" name (number h.Histogram.h_p50);
+        Printf.bprintf buf "%s{quantile=\"0.9\"} %s\n" name (number h.Histogram.h_p90);
+        Printf.bprintf buf "%s{quantile=\"0.99\"} %s\n" name (number h.Histogram.h_p99);
+        Printf.bprintf buf "%s_sum %s\n" name (number h.Histogram.h_sum);
+        Printf.bprintf buf "%s_count %d\n" name h.Histogram.h_count
+      end)
+    (Histogram.snapshot ());
+  (* Span aggregates, one labelled series set (empty unless span
+     recording is on). *)
+  let spans = Span.aggregates () in
+  if spans <> [] then begin
+    add_meta buf ~name:"repro_span_calls_total" ~mtype:"counter"
+      ~help:"completed spans per name";
+    List.iter
+      (fun (a : Span.aggregate) ->
+        Printf.bprintf buf "repro_span_calls_total{span=\"%s\"} %d\n"
+          (escape_label a.Span.agg_name) a.Span.agg_calls)
+      spans;
+    add_meta buf ~name:"repro_span_total_seconds" ~mtype:"gauge"
+      ~help:"cumulative wall time per span name";
+    List.iter
+      (fun (a : Span.aggregate) ->
+        Printf.bprintf buf "repro_span_total_seconds{span=\"%s\"} %s\n"
+          (escape_label a.Span.agg_name)
+          (number (Int64.to_float a.Span.agg_total_ns /. 1e9)))
+      spans;
+    add_meta buf ~name:"repro_span_self_seconds" ~mtype:"gauge"
+      ~help:"cumulative self time per span name";
+    List.iter
+      (fun (a : Span.aggregate) ->
+        Printf.bprintf buf "repro_span_self_seconds{span=\"%s\"} %s\n"
+          (escape_label a.Span.agg_name)
+          (number (Int64.to_float a.Span.agg_self_ns /. 1e9)))
+      spans
+  end;
+  (* Caller-supplied gauges (the monitor's heartbeat snapshot). *)
+  List.iter
+    (fun g ->
+      let name = metric_name g.g_name in
+      add_meta buf ~name ~mtype:"gauge" ~help:g.g_help;
+      Printf.bprintf buf "%s%s %s\n" name (labels_string g.g_labels) (number g.g_value))
+    gauges;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** OpenMetrics / Prometheus text exposition of the telemetry
+    registries.
+
+    {!render} emits every registered counter (as [<name>_total]
+    counters), every histogram with observations (as summaries:
+    p50/p90/p99 quantile series plus [_sum]/[_count]), span aggregates
+    when span recording is enabled (labelled [repro_span_*] series),
+    and any caller-supplied gauges — terminated by the mandatory
+    [# EOF] marker.  Metric names are sanitised to the OpenMetrics
+    charset and prefixed ["repro_"].
+
+    Safe to call from any domain: counters are atomic, the
+    counter/histogram tables are fixed after module initialisation,
+    and the span table is read under its registration lock. *)
+
+type gauge = {
+  g_name : string;  (** unsanitised metric name, unit suffix included *)
+  g_labels : (string * string) list;
+  g_value : float;
+  g_help : string;
+}
+
+val gauge : ?labels:(string * string) list -> ?help:string -> string -> float -> gauge
+
+val render : ?gauges:gauge list -> unit -> string

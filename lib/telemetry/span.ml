@@ -33,6 +33,13 @@ type frame = {
 
 let capacity = 1_000_000
 let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+(* Guards structural mutation of [aggs] against concurrent reads from
+   the monitor's scrape domain.  Only paid when spans are enabled, and
+   [aggregates]/[reset] are snapshot-time operations — the per-span
+   hot path touches the lock only on the first occurrence of a name. *)
+let aggs_mutex = Mutex.create ()
+
 let stack : frame list ref = ref []
 let events_rev : event list ref = ref []
 let n_events = ref 0
@@ -52,8 +59,15 @@ let agg_of name =
         a_durations = Histogram.unregistered name;
       }
     in
-    Hashtbl.add aggs name a;
-    a
+    Mutex.lock aggs_mutex;
+    (match Hashtbl.find_opt aggs name with
+    | Some existing ->
+      Mutex.unlock aggs_mutex;
+      existing
+    | None ->
+      Hashtbl.add aggs name a;
+      Mutex.unlock aggs_mutex;
+      a)
 
 let finish frame =
   let dur = Clock.elapsed_ns ~since:frame.f_start in
@@ -91,8 +105,8 @@ let finish frame =
    race-free.  Counters and histograms remain exact on all domains. *)
 let main_domain = Domain.self ()
 
-let with_ ?(attrs = []) ~name f =
-  if (not (Control.enabled ())) || Domain.self () <> main_domain then f ()
+let[@inline never] record ~attrs ~name f =
+  if Domain.self () <> main_domain then f ()
   else begin
     let start = Clock.now_ns () in
     if !epoch = None then epoch := Some start;
@@ -104,7 +118,15 @@ let with_ ?(attrs = []) ~name f =
     Fun.protect ~finally:(fun () -> finish frame) f
   end
 
+(* Split so the disabled case — the default in production runs — is a
+   single flag load and a branch, inlinable at every call site; all
+   recording machinery lives behind a never-inlined slow path. *)
+let[@inline] with_ ?(attrs = []) ~name f =
+  if not (Control.enabled ()) then f () else record ~attrs ~name f
+
 let aggregates () =
+  Mutex.lock aggs_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock aggs_mutex) @@ fun () ->
   Hashtbl.fold
     (fun _ a acc ->
       {
@@ -132,7 +154,9 @@ let epoch_ns () =
 let dropped () = !n_dropped
 
 let reset () =
+  Mutex.lock aggs_mutex;
   Hashtbl.reset aggs;
+  Mutex.unlock aggs_mutex;
   stack := [];
   events_rev := [];
   n_events := 0;

@@ -339,6 +339,51 @@ let test_checkpoint_corrupt_middle () =
   | Ok _ -> Alcotest.fail "a malformed interior line must refuse to load");
   Sys.remove path
 
+let test_checkpoint_provenance () =
+  let path = Filename.temp_file "ckpt" ".jsonl" in
+  (* A fresh journal stamps the current engine hash into its header. *)
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:false path) in
+  Engine.Checkpoint.record cp "a" (cp_value 1.0 2.0 None 1);
+  Engine.Checkpoint.close cp;
+  let header = In_channel.with_open_bin path In_channel.input_line in
+  (match header with
+  | Some line ->
+    let expected =
+      Printf.sprintf {|"engine":"%s"|} (Telemetry.Manifest.engine_hash ())
+    in
+    Alcotest.(check bool) "header embeds the engine hash" true
+      (let rec contains i =
+         i + String.length expected <= String.length line
+         && (String.sub line i (String.length expected) = expected || contains (i + 1))
+       in
+       contains 0)
+  | None -> Alcotest.fail "journal has no header");
+  (* Resuming our own journal raises no mismatch. *)
+  let m0 = counter "engine.checkpoint.provenance_mismatch" in
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  Engine.Checkpoint.close cp;
+  Alcotest.(check int) "same build: no mismatch" m0
+    (counter "engine.checkpoint.provenance_mismatch");
+  (* A journal from a different build still loads — resumed values are
+     trusted — but the mismatch is counted. *)
+  let oc = open_out path in
+  output_string oc
+    "{\"type\":\"journal\",\"version\":1,\"engine\":\"deadbeefdeadbeefdeadbeefdeadbeef\"}\n";
+  close_out oc;
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  Engine.Checkpoint.close cp;
+  Alcotest.(check int) "foreign build: mismatch counted" (m0 + 1)
+    (counter "engine.checkpoint.provenance_mismatch");
+  (* A seed-era header with no engine field loads silently. *)
+  let oc = open_out path in
+  output_string oc "{\"type\":\"journal\",\"version\":1}\n";
+  close_out oc;
+  let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:true path) in
+  Engine.Checkpoint.close cp;
+  Alcotest.(check int) "legacy header: no mismatch" (m0 + 1)
+    (counter "engine.checkpoint.provenance_mismatch");
+  Sys.remove path
+
 let test_checkpoint_engine_resume () =
   let path = Filename.temp_file "ckpt" ".jsonl" in
   let cp = ok_checkpoint (Engine.Checkpoint.load ~resume:false path) in
@@ -405,6 +450,8 @@ let () =
             test_checkpoint_torn_tail;
           Alcotest.test_case "interior corruption refuses to load" `Quick
             test_checkpoint_corrupt_middle;
+          Alcotest.test_case "header provenance round-trip" `Quick
+            test_checkpoint_provenance;
           Alcotest.test_case "fresh engine resumes from the journal" `Quick
             test_checkpoint_engine_resume;
         ] );

@@ -427,6 +427,345 @@ let test_cancel_interrupt () =
   Alcotest.(check bool) "interrupt cleared" false (Telemetry.Cancel.interrupted ());
   Telemetry.Cancel.poll ()
 
+(* ------------------------------------------------------ openmetrics *)
+
+(* Mini OpenMetrics text parser: enough to verify the exposition we
+   emit is the exposition a scraper would accept.  Returns the sample
+   lines as (name, labels-or-empty, value) plus the set of TYPE'd
+   family names; fails on a line that is neither a comment nor a
+   well-formed sample, or on a missing terminal "# EOF". *)
+let parse_openmetrics body =
+  let lines = String.split_on_char '\n' body in
+  let rec strip_trailing = function
+    | [ "" ] -> []
+    | [] -> []
+    | x :: rest -> x :: strip_trailing rest
+  in
+  let lines = strip_trailing lines in
+  (match List.rev lines with
+  | "# EOF" :: _ -> ()
+  | _ -> Alcotest.fail "exposition must end with # EOF");
+  let name_ok name =
+    name <> ""
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+           || c = ':')
+         name
+  in
+  let families = ref [] in
+  let samples = ref [] in
+  List.iter
+    (fun line ->
+      if line = "" || line = "# EOF" then ()
+      else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          if not (name_ok name) then Alcotest.fail ("bad family name: " ^ name);
+          if not (List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ]) then
+            Alcotest.fail ("bad family type: " ^ kind);
+          families := (name, kind) :: !families
+        | _ -> Alcotest.fail ("bad TYPE line: " ^ line)
+      end
+      else if String.length line > 1 && line.[0] = '#' then () (* HELP *)
+      else begin
+        (* sample: name[{labels}] value *)
+        match String.index_opt line ' ' with
+        | None -> Alcotest.fail ("bad sample line: " ^ line)
+        | Some sp ->
+          let series = String.sub line 0 sp in
+          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+          let name, labels =
+            match String.index_opt series '{' with
+            | None -> (series, "")
+            | Some b ->
+              if series.[String.length series - 1] <> '}' then
+                Alcotest.fail ("unterminated labels: " ^ line);
+              (String.sub series 0 b, String.sub series b (String.length series - b))
+          in
+          if not (name_ok name) then Alcotest.fail ("bad metric name: " ^ name);
+          let v =
+            match value with
+            | "NaN" -> nan
+            | "+Inf" -> infinity
+            | "-Inf" -> neg_infinity
+            | v -> (
+              match float_of_string_opt v with
+              | Some f -> f
+              | None -> Alcotest.fail ("bad sample value: " ^ line))
+          in
+          samples := (name, labels, v) :: !samples
+      end)
+    lines;
+  (List.rev !families, List.rev !samples)
+
+let sample_value samples name =
+  List.find_map (fun (n, _, v) -> if n = name then Some v else None) samples
+
+let test_openmetrics_counters_histograms () =
+  Telemetry.Export.reset_all ();
+  let c = Telemetry.Counter.make "test.om_counter" in
+  Telemetry.Counter.add c 41;
+  Telemetry.Counter.incr c;
+  let h = Telemetry.Histogram.make "test.om_hist" in
+  List.iter (Telemetry.Histogram.observe h) [ 10.0; 20.0; 30.0; 40.0 ];
+  let families, samples = parse_openmetrics (Telemetry.Openmetrics.render ()) in
+  (* Counter: sanitised name, _total suffix, exact value. *)
+  Alcotest.(check (option (float 0.0)))
+    "counter value" (Some 42.0)
+    (sample_value samples "repro_test_om_counter_total");
+  Alcotest.(check bool)
+    "counter family typed" true
+    (List.mem ("repro_test_om_counter_total", "counter") families);
+  (* Histogram: summary with exact count and sum, quantiles present. *)
+  Alcotest.(check (option (float 0.0)))
+    "histogram count" (Some 4.0)
+    (sample_value samples "repro_test_om_hist_count");
+  Alcotest.(check (option (float 0.0)))
+    "histogram sum" (Some 100.0)
+    (sample_value samples "repro_test_om_hist_sum");
+  Alcotest.(check bool)
+    "histogram family typed summary" true
+    (List.mem ("repro_test_om_hist", "summary") families);
+  Alcotest.(check bool)
+    "quantile series present" true
+    (List.exists (fun (n, l, _) -> n = "repro_test_om_hist" && l = "{quantile=\"0.5\"}") samples)
+
+let test_openmetrics_gauges_and_escaping () =
+  Telemetry.Export.reset_all ();
+  let gauges =
+    [
+      Telemetry.Openmetrics.gauge ~help:"a help line" "my_gauge_seconds" 1.5;
+      Telemetry.Openmetrics.gauge
+        ~labels:[ ("die", "a\"b\\c\nd"); ("weird name", "v") ]
+        "labelled gauge" 7.0;
+    ]
+  in
+  let families, samples = parse_openmetrics (Telemetry.Openmetrics.render ~gauges ()) in
+  Alcotest.(check (option (float 0.0)))
+    "plain gauge" (Some 1.5)
+    (sample_value samples "repro_my_gauge_seconds");
+  (* Metric and label names sanitised to the charset; label values
+     escaped per the grammar. *)
+  (match
+     List.find_opt (fun (n, _, _) -> n = "repro_labelled_gauge") samples
+   with
+  | Some (_, labels, v) ->
+    Alcotest.(check (float 0.0)) "labelled gauge value" 7.0 v;
+    Alcotest.(check string)
+      "label escaping" "{die=\"a\\\"b\\\\c\\nd\",weird_name=\"v\"}" labels
+  | None -> Alcotest.fail "labelled gauge missing");
+  Alcotest.(check bool)
+    "gauge family typed" true
+    (List.mem ("repro_my_gauge_seconds", "gauge") families)
+
+(* -------------------------------------------------------------- log *)
+
+let with_quiet_log f =
+  let saved = Telemetry.Log.level () in
+  Telemetry.Log.set_stderr false;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Log.close_file ();
+      Telemetry.Log.set_stderr true;
+      Telemetry.Log.set_level saved)
+    f
+
+let test_log_level_filtering () =
+  with_quiet_log @@ fun () ->
+  let path = Filename.temp_file "test_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Telemetry.Log.to_file path;
+  Telemetry.Log.set_level Telemetry.Log.Warn;
+  Telemetry.Log.debug "dropped debug";
+  Telemetry.Log.info "dropped info";
+  Telemetry.Log.warn "kept warn";
+  Telemetry.Log.error "kept error";
+  Telemetry.Log.set_level Telemetry.Log.Debug;
+  Telemetry.Log.debug "kept debug";
+  Telemetry.Log.close_file ();
+  let lines =
+    String.split_on_char '\n' (In_channel.with_open_bin path In_channel.input_all)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "only enabled levels emit" 3 (List.length lines);
+  let msgs =
+    List.map
+      (fun l ->
+        match member "msg" (parse_json l) with
+        | Some (Str m) -> m
+        | _ -> Alcotest.fail "log line missing msg")
+      lines
+  in
+  Alcotest.(check (list string)) "order preserved"
+    [ "kept warn"; "kept error"; "kept debug" ]
+    msgs;
+  Alcotest.(check bool) "enabled guard matches threshold" true
+    (Telemetry.Log.enabled Telemetry.Log.Debug)
+
+let test_log_jsonl_escaping () =
+  with_quiet_log @@ fun () ->
+  let path = Filename.temp_file "test_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Telemetry.Log.to_file path;
+  Telemetry.Log.set_level Telemetry.Log.Info;
+  Telemetry.Log.info
+    ~fields:[ ("key", "line1\nline2\t\"quoted\" \\slash"); ("n", "42") ]
+    "msg with \"quotes\" and \x01 control";
+  Telemetry.Log.close_file ();
+  let raw = String.trim (In_channel.with_open_bin path In_channel.input_all) in
+  match parse_json raw with
+  | exception Bad_json reason -> Alcotest.fail ("jsonl line does not parse: " ^ reason)
+  | v ->
+    (match member "msg" v with
+    | Some (Str m) ->
+      Alcotest.(check string) "message round-trips" "msg with \"quotes\" and \x01 control" m
+    | _ -> Alcotest.fail "msg missing");
+    (match member "fields" v with
+    | Some (Obj fields) ->
+      Alcotest.(check bool) "field value round-trips" true
+        (List.assoc_opt "key" fields = Some (Str "line1\nline2\t\"quoted\" \\slash"))
+    | _ -> Alcotest.fail "fields missing");
+    (match member "level" v with
+    | Some (Str "info") -> ()
+    | _ -> Alcotest.fail "level missing")
+
+(* --------------------------------------------------------- manifest *)
+
+let test_manifest_roundtrip () =
+  let argv = [ "repro"; "faults"; "--seed"; "1234"; "--standard"; "blue\ttooth" ] in
+  let m = Telemetry.Manifest.create ~argv () in
+  Telemetry.Manifest.finish ~exit_status:3 m;
+  (match Telemetry.Manifest.of_json (Telemetry.Manifest.to_json m) with
+  | Error reason -> Alcotest.fail ("manifest does not round-trip: " ^ reason)
+  | Ok m' ->
+    Alcotest.(check (list string)) "argv" argv m'.Telemetry.Manifest.argv;
+    Alcotest.(check (option int)) "seed parsed from argv" (Some 1234) m'.Telemetry.Manifest.seed;
+    Alcotest.(check string) "engine hash" m.Telemetry.Manifest.engine_hash
+      m'.Telemetry.Manifest.engine_hash;
+    Alcotest.(check (option int)) "exit status" (Some 3) m'.Telemetry.Manifest.exit_status;
+    Alcotest.(check bool) "end stamped" true (m'.Telemetry.Manifest.end_ns <> None);
+    Alcotest.(check string) "config digest" m.Telemetry.Manifest.config_digest
+      m'.Telemetry.Manifest.config_digest);
+  (* File round-trip. *)
+  let path = Filename.temp_file "test_manifest" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Telemetry.Manifest.write path m;
+  match Telemetry.Manifest.read path with
+  | Error reason -> Alcotest.fail ("manifest file does not read back: " ^ reason)
+  | Ok m' ->
+    Alcotest.(check string) "file round-trip argv digest" m.Telemetry.Manifest.config_digest
+      m'.Telemetry.Manifest.config_digest
+
+let test_manifest_seed_forms () =
+  let seed_of argv =
+    (Telemetry.Manifest.create ~argv ()).Telemetry.Manifest.seed
+  in
+  Alcotest.(check (option int)) "--seed N" (Some 7) (seed_of [ "x"; "--seed"; "7" ]);
+  Alcotest.(check (option int)) "--seed=N" (Some 9) (seed_of [ "x"; "--seed=9" ]);
+  Alcotest.(check (option int)) "no seed" None (seed_of [ "x"; "--jobs"; "4" ]);
+  Alcotest.(check (option int)) "explicit overrides" (Some 5)
+    (Telemetry.Manifest.create ~argv:[ "x"; "--seed"; "7" ] ~seed:5 ()).Telemetry.Manifest.seed;
+  (* The engine hash is a hex digest of the running executable. *)
+  let h = Telemetry.Manifest.engine_hash () in
+  Alcotest.(check bool) "engine hash is hex" true
+    (String.length h = 32
+    && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) h)
+
+(* ---------------------------------------------------------- monitor *)
+
+let test_monitor_snapshot () =
+  Telemetry.Monitor.reset ();
+  Telemetry.Monitor.register "test_provider" (fun () -> [ ("test_gauge", 17.0) ]);
+  Fun.protect ~finally:(fun () ->
+      Telemetry.Monitor.register "test_provider" (fun () -> []);
+      Telemetry.Monitor.reset ())
+  @@ fun () ->
+  Telemetry.Monitor.set_progress ~completed:25 ~total:100;
+  let s = Telemetry.Monitor.snapshot () in
+  Alcotest.(check int) "completed" 25 s.Telemetry.Monitor.completed;
+  Alcotest.(check int) "total" 100 s.Telemetry.Monitor.total;
+  Alcotest.(check bool) "eta estimable" true (s.Telemetry.Monitor.eta_s <> None);
+  Alcotest.(check bool) "provider gauges included" true
+    (List.assoc_opt "test_gauge" s.Telemetry.Monitor.gauges = Some 17.0);
+  (* The /metrics body is valid OpenMetrics and carries the snapshot. *)
+  let _, samples = parse_openmetrics (Telemetry.Monitor.metrics_body ()) in
+  Alcotest.(check (option (float 0.0)))
+    "campaign progress exposed" (Some 25.0)
+    (sample_value samples "repro_campaign_cells_completed");
+  Alcotest.(check (option (float 0.0)))
+    "provider gauge exposed" (Some 17.0)
+    (sample_value samples "repro_test_gauge");
+  (* The /healthz body is one valid JSON object. *)
+  match parse_json (Telemetry.Monitor.healthz_body ()) with
+  | exception Bad_json reason -> Alcotest.fail ("healthz does not parse: " ^ reason)
+  | v -> (
+    (match member "status" v with
+    | Some (Str "ok") -> ()
+    | _ -> Alcotest.fail "healthz status missing");
+    match member "completed" v with
+    | Some (Num 25.0) -> ()
+    | _ -> Alcotest.fail "healthz completed missing")
+
+let test_monitor_scrape_server () =
+  Telemetry.Monitor.reset ();
+  Telemetry.Monitor.set_progress ~completed:3 ~total:9;
+  (* Port 0: bind whatever is free, talk to it over a plain socket. *)
+  match Telemetry.Monitor.start_server ~port:0 with
+  | Error reason -> Alcotest.fail reason
+  | Ok port ->
+    Fun.protect ~finally:(fun () ->
+        Telemetry.Monitor.stop_server ();
+        Telemetry.Monitor.reset ())
+    @@ fun () ->
+    let get path =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents buf
+    in
+    let body_of response =
+      (* Body starts after the blank line separating the headers. *)
+      let sep = "\r\n\r\n" in
+      let rec find i =
+        if i + String.length sep > String.length response then None
+        else if String.sub response i (String.length sep) = sep then Some (i + String.length sep)
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i -> String.sub response i (String.length response - i)
+      | None -> Alcotest.fail "response has no body"
+    in
+    let metrics = get "/metrics" in
+    Alcotest.(check bool) "200 on /metrics" true
+      (String.length metrics > 12 && String.sub metrics 0 12 = "HTTP/1.0 200");
+    let _, samples = parse_openmetrics (body_of metrics) in
+    Alcotest.(check (option (float 0.0)))
+      "live progress served" (Some 3.0)
+      (sample_value samples "repro_campaign_cells_completed");
+    let health = get "/healthz" in
+    Alcotest.(check bool) "200 on /healthz" true
+      (String.length health > 12 && String.sub health 0 12 = "HTTP/1.0 200");
+    let missing = get "/nope" in
+    Alcotest.(check bool) "404 elsewhere" true
+      (String.length missing > 12 && String.sub missing 0 12 = "HTTP/1.0 404")
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -457,5 +796,27 @@ let () =
             test_cancel_nesting_restores;
           Alcotest.test_case "process-global interrupt and tick cadence" `Quick
             test_cancel_interrupt;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "counters and histograms round-trip" `Quick
+            test_openmetrics_counters_histograms;
+          Alcotest.test_case "gauges, sanitisation and label escaping" `Quick
+            test_openmetrics_gauges_and_escaping;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level filtering" `Quick test_log_level_filtering;
+          Alcotest.test_case "jsonl sink escaping" `Quick test_log_jsonl_escaping;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "json and file round-trip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "seed parsing and engine hash" `Quick test_manifest_seed_forms;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "snapshot and exposition bodies" `Quick test_monitor_snapshot;
+          Alcotest.test_case "loopback scrape server" `Quick test_monitor_scrape_server;
         ] );
     ]
