@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke monitor-smoke bench-json bench-json-fast bench-gate ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke sched-smoke resume-smoke monitor-smoke bench-json bench-json-fast bench-gate ci clean
 
 all: build
 
@@ -55,6 +55,23 @@ engine-smoke:
 	dune exec bin/repro.exe -- fig10 --seed 42 --standard bluetooth --jobs 1 > /tmp/fig10-jobs1.out
 	dune exec bin/repro.exe -- fig10 --seed 42 --standard bluetooth --jobs 4 > /tmp/fig10-jobs4.out
 	cmp /tmp/fig10-jobs1.out /tmp/fig10-jobs4.out
+
+# The sharded work-stealing scheduler must be invisible in the
+# results: a full campaign report (JSON, covering the grid cells, flip
+# probes and demos) must be byte-identical across the whole jobs
+# sweep, including the 8-lane oversubscribed case, and fig7 must match
+# at --jobs 8 (engine-smoke covers 1/2/4).
+sched-smoke: build
+	./_build/default/bin/repro.exe fig7 --fast --seed 42 --standard bluetooth --jobs 1 > /tmp/sched-fig7-jobs1.out
+	./_build/default/bin/repro.exe fig7 --fast --seed 42 --standard bluetooth --jobs 8 > /tmp/sched-fig7-jobs8.out
+	cmp /tmp/sched-fig7-jobs1.out /tmp/sched-fig7-jobs8.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --jobs 1 > /tmp/sched-jobs1.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --jobs 2 > /tmp/sched-jobs2.out
+	cmp /tmp/sched-jobs1.out /tmp/sched-jobs2.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --jobs 4 > /tmp/sched-jobs4.out
+	cmp /tmp/sched-jobs1.out /tmp/sched-jobs4.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --jobs 8 > /tmp/sched-jobs8.out
+	cmp /tmp/sched-jobs1.out /tmp/sched-jobs8.out
 
 # Crash-safe resume: journal a campaign to a checkpoint, SIGINT it
 # mid-flight, resume from the journal, and require the resumed report
@@ -113,7 +130,7 @@ bench-gate:
 	dune exec bench/main.exe -- --quick --fast --json \
 	  --out /tmp/bench-gate.json --compare BENCH_4.json
 
-ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke resume-smoke monitor-smoke bench-gate
+ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke sched-smoke resume-smoke monitor-smoke bench-gate
 
 clean:
 	dune clean

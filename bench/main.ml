@@ -134,13 +134,15 @@ let bench_afe_measure () = ignore (Afe.Afe_chain.measure (Lazy.force afe_fixture
 
 (* ENGINE kernels: the evaluation service's own costs.  Hit vs miss
    bounds what the cache buys per evaluation; the batch kernels time
-   the same 8-key batch on the sequential backend and on 2- and
-   4-lane domain pools (caching off, so every iteration re-simulates —
-   this measures throughput, not cache warmth). *)
+   the same 8-key batch on the sequential backend and on 2-, 4- and
+   8-lane domain pools (caching off, so every iteration re-simulates —
+   this measures throughput, not cache warmth; the scheduler sizes
+   lanes to the hardware, so the sweep must be monotone, DESIGN §13). *)
 let engine_cached = lazy (Engine.Service.create ~jobs:1 ~cache:true ())
 let engine_uncached = lazy (Engine.Service.create ~jobs:1 ~cache:false ())
 let engine_pool2 = lazy (Engine.Service.create ~jobs:2 ~cache:false ())
 let engine_pool4 = lazy (Engine.Service.create ~jobs:4 ~cache:false ())
+let engine_pool8 = lazy (Engine.Service.create ~jobs:8 ~cache:false ())
 
 let engine_request =
   lazy
@@ -168,6 +170,16 @@ let bench_engine_miss () =
 
 let bench_engine_batch engine () =
   ignore (Engine.Service.eval_batch ~engine:(Lazy.force engine) (Lazy.force engine_batch))
+
+(* POOL kernel: the sharded scheduler's own claim/steal overhead,
+   isolated from the simulator.  An eager 4-lane pool runs 256 no-op
+   items dealt as single-index chunks, so every index crosses the
+   submit -> queue -> claim (or steal) path; the per-item figure is
+   the scheduling tax a real work item pays on top of its compute. *)
+let steal_pool = lazy (Engine.Pool.create ~eager:true 3)
+
+let bench_pool_steal () =
+  Engine.Pool.run ~chunk:1 (Lazy.force steal_pool) (fun _ -> ()) 256
 
 (* TELEMETRY kernels: the instrumentation's own cost.  The disabled
    span is the price every instrumented call site pays on a plain run
@@ -233,6 +245,8 @@ let tests =
     Test.make ~name:"engine:batch8-1domain" (Staged.stage (bench_engine_batch engine_uncached));
     Test.make ~name:"engine:batch8-2domains" (Staged.stage (bench_engine_batch engine_pool2));
     Test.make ~name:"engine:batch8-4domains" (Staged.stage (bench_engine_batch engine_pool4));
+    Test.make ~name:"engine:batch8-8domains" (Staged.stage (bench_engine_batch engine_pool8));
+    Test.make ~name:"pool:steal" (Staged.stage bench_pool_steal);
     Test.make ~name:"telemetry:span-disabled" (Staged.stage bench_span_disabled);
     Test.make ~name:"telemetry:counter-incr" (Staged.stage bench_counter_incr);
     Test.make ~name:"telemetry:cancel-poll-1k" (Staged.stage bench_cancel_poll);

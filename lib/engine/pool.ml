@@ -1,172 +1,305 @@
-(* Hand-rolled fixed worker pool over Domain/Mutex/Condition — no
+(* Sharded work-stealing worker pool over Domain/Mutex/Condition — no
    dependencies beyond the stdlib, per the repo's no-new-deps rule.
 
    The pool runs index-parallel jobs: [run t f n] evaluates [f i] for
-   every [i] in [0..n-1], claiming indices from a shared cursor under
-   the pool mutex.  The calling (main) domain participates as a lane,
-   so a pool built with [create (jobs - 1)] workers gives [jobs]
+   every [i] in [0..n-1].  The calling (main) domain participates as a
+   lane, so a pool built with [create (jobs - 1)] workers gives [jobs]
    evaluation lanes total.  Determinism is the caller's contract: [f]
    must write result [i] to slot [i] only, so claim order never shows
    in the output.
 
-   Supervision: each worker domain runs under a supervisor wrapper.  If
-   a worker dies (any exception escaping its loop — [Worker_killed] is
-   the test hook that simulates an abrupt domain death), the supervisor
-   requeues the index the lane had claimed onto the orphan list, bumps
-   [pool.worker.restarts], and spawns a replacement domain that joins
-   the in-flight job.  Orphans are claimed before fresh indices, so a
-   killed lane delays its index but never loses it, and [run] still
-   returns only when every index has actually completed. *)
+   Scheduling (DESIGN §13).  The previous design kept one shared claim
+   cursor under one pool mutex with [Condition.broadcast] on every
+   post, orphan and completion; its own histograms (DESIGN §12) showed
+   first-claim latency growing past the work-item cost as lanes were
+   added.  This design shards the schedule instead:
+
+   - Submit chunks [0..n-1] into contiguous ranges and deals them
+     round-robin across per-lane run queues, main lane first so the
+     caller always starts on local work.  Each queue has its own mutex
+     and condition variable.
+   - A lane claims whole chunks from its own queue; when that drains
+     it steals a chunk from the busiest other queue.  Items inside a
+     claimed chunk run without touching any lock.
+   - Wakeups are targeted: submit [signal]s exactly the worker lanes
+     that received chunks; the completion of the last item [signal]s
+     the one lane (the caller) waiting in [run]; an orphan requeue
+     signals only the main lane, which is guaranteed alive.  No
+     broadcast remains on the submit/steal/complete path, and a lane
+     that wakes to find nothing claimable counts
+     [pool.wakeup.spurious].
+   - Completion is an atomic counter; the job-lifecycle mutex [t.m] is
+     taken only at submit, on the final completion, on failure and on
+     orphan requeue — never per claim.
+
+   Lock order: [t.m] may be held while taking a lane mutex (submit,
+   stats); a lane mutex is never held while taking [t.m].
+
+   Supervision: each worker domain runs under a supervisor wrapper.
+   If a worker dies (any exception escaping its loop — [Worker_killed]
+   is the test hook that simulates an abrupt domain death), the
+   supervisor requeues the in-flight remainder of the chunk the lane
+   had claimed (current index included) onto the *main* lane's queue,
+   bumps [pool.worker.restarts], and spawns a replacement domain.
+   Chunks still queued on the dead lane are not lost either: the
+   replacement pops them, and until it arrives they are stealable like
+   any other queue.  Orphaned work therefore delays, but never loses,
+   its indices, and [run] still returns only when every index has
+   actually completed. *)
 
 exception Worker_killed
 
 let restarts_counter = Telemetry.Counter.make "pool.worker.restarts"
+let steal_counter = Telemetry.Counter.make "pool.steal.count"
+let spurious_counter = Telemetry.Counter.make "pool.wakeup.spurious"
 
-(* Scheduling diagnostics (see DESIGN §12): [pool.queue.wait_ns] is the
-   latency from job post to each lane's *first* claim of that job —
-   direct evidence of how long freshly woken domains take to reach the
-   cursor; [pool.lane.busy] is the number of busy lanes observed at
-   every claim, i.e. the occupancy the job actually achieved.  Both are
-   recorded under the pool mutex the claim already holds. *)
+(* Scheduling diagnostics (see DESIGN §12/§13): [pool.queue.wait_ns] is
+   the latency from job post to each lane's *first* chunk claim of that
+   job — direct evidence of how long freshly woken domains take to
+   reach work; [pool.lane.busy] is the number of busy lanes observed at
+   every chunk claim, i.e. the occupancy the job actually achieved. *)
 let queue_wait_hist = Telemetry.Histogram.make "pool.queue.wait_ns"
 let lane_busy_hist = Telemetry.Histogram.make "pool.lane.busy"
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-type t = {
-  m : Mutex.t;
-  work_ready : Condition.t;
-  work_done : Condition.t;
-  mutable job : (int -> unit) option;
-  mutable next : int;
-  mutable orphans : int list;  (* indices claimed by a lane that died *)
-  inflight : int array;  (* per-lane claimed index, -1 when idle; slot [workers] is the main lane *)
-  claim_gen : int array;  (* generation of each lane's last first-claim *)
-  mutable posted_ns : int64;  (* when the current job was posted *)
-  mutable total : int;
-  mutable completed : int;
-  mutable failure : exn option;
-  mutable generation : int;
-  mutable shutdown : bool;
-  mutable domains : unit Domain.t list;
-  workers : int;
+(* The scheduler's largest submit-time chunk.  Shared with
+   [Faults.Campaign], whose checkpoint/interrupt granularity rides the
+   same constant so campaign chunking and scheduler chunking are one
+   policy (16 items is also small enough that a default-sized batch
+   still deals work to every lane). *)
+let max_chunk = 16
+
+type lane = {
+  lm : Mutex.t;  (* guards [chunks]; [queued] is atomic for racy scans *)
+  ready : Condition.t;  (* this lane's private wakeup (workers only) *)
+  mutable chunks : (int * int) list;  (* queued [lo, hi) ranges, FIFO *)
+  queued : int Atomic.t;  (* items across queued chunks *)
+  (* In-flight range of the chunk being run: [cur] is the item under
+     evaluation (-1 idle), [hi] the range end.  Written only by the
+     owning domain; read by its own supervisor after a death and
+     (racily, monitoring-grade) by [stats]. *)
+  mutable cur : int;
+  mutable hi : int;
+  (* Generation of the lane's last first-claim, owner-private: stamps
+     one [pool.queue.wait_ns] observation per lane per job. *)
+  mutable claim_gen : int;
 }
 
-(* Next index to run, orphans first; caller holds the mutex. *)
-let claim_locked t =
-  match t.orphans with
-  | i :: rest ->
-    t.orphans <- rest;
-    Some i
-  | [] ->
-    if t.next < t.total then begin
-      let i = t.next in
-      t.next <- t.next + 1;
-      Some i
-    end
-    else None
+type t = {
+  m : Mutex.t;  (* job lifecycle: submit, final completion, failure, orphans *)
+  work_done : Condition.t;  (* only the caller blocked in [run] waits here *)
+  lanes : lane array;  (* slot [workers] is the main lane *)
+  completed : int Atomic.t;
+  mutable job : (int -> unit) option;
+  mutable total : int;
+  mutable failure : exn option;
+  mutable generation : int;
+  mutable posted_ns : int64;  (* when the current job was posted *)
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+  steals : int Atomic.t;  (* lifetime stolen chunks, for [stats] *)
+  workers : int;  (* worker domains actually spawned (lanes - 1) *)
+}
 
-(* Claim-site diagnostics; caller holds the mutex and has just marked
-   its lane busy. *)
-let observe_claim t ~slot =
-  if t.claim_gen.(slot) <> t.generation then begin
-    t.claim_gen.(slot) <- t.generation;
+let new_lane () =
+  {
+    lm = Mutex.create ();
+    ready = Condition.create ();
+    chunks = [];
+    queued = Atomic.make 0;
+    cur = -1;
+    hi = -1;
+    claim_gen = 0;
+  }
+
+(* Queue ops; caller holds [lane.lm]. *)
+let push_back lane ((lo, hi) as chunk) =
+  lane.chunks <- lane.chunks @ [ chunk ];
+  ignore (Atomic.fetch_and_add lane.queued (hi - lo))
+
+let push_front lane ((lo, hi) as chunk) =
+  lane.chunks <- chunk :: lane.chunks;
+  ignore (Atomic.fetch_and_add lane.queued (hi - lo))
+
+let pop lane =
+  match lane.chunks with
+  | [] -> None
+  | ((lo, hi) as chunk) :: rest ->
+    lane.chunks <- rest;
+    ignore (Atomic.fetch_and_add lane.queued (lo - hi));
+    Some chunk
+
+(* Claim-site diagnostics, recorded at each chunk claim without any
+   shared lock: one wait observation per lane per job, plus the racy
+   busy-lane occupancy scan. *)
+let observe_claim t lane =
+  if lane.claim_gen <> t.generation then begin
+    lane.claim_gen <- t.generation;
     Telemetry.Histogram.observe queue_wait_hist
       (Int64.to_float (Int64.sub (now_ns ()) t.posted_ns))
   end;
   let busy = ref 0 in
-  Array.iter (fun i -> if i >= 0 then incr busy) t.inflight;
+  Array.iter (fun l -> if l.cur >= 0 then incr busy) t.lanes;
   Telemetry.Histogram.observe lane_busy_hist (float_of_int !busy)
 
-(* Run one claimed index.  The mutex is held on entry and exit — except
-   on a worker lane hit by [Worker_killed], which requeues its index,
-   unlocks and re-raises so the supervisor can replace the domain. *)
-let step t f ~slot i =
-  t.inflight.(slot) <- i;
-  observe_claim t ~slot;
-  Mutex.unlock t.m;
-  match f i with
-  | () ->
-    Mutex.lock t.m;
-    t.inflight.(slot) <- -1;
-    t.completed <- t.completed + 1;
-    if t.completed >= t.total then Condition.broadcast t.work_done
-  | exception Worker_killed ->
-    Mutex.lock t.m;
-    t.inflight.(slot) <- -1;
-    t.orphans <- i :: t.orphans;
-    (* Wake both sides: idle workers can claim the orphan, and a main
-       lane blocked in [run] must re-check rather than sleep on a
-       completion count that will not move until someone reclaims. *)
-    Condition.broadcast t.work_ready;
-    Condition.broadcast t.work_done;
-    if slot < t.workers then begin
-      Mutex.unlock t.m;
-      raise Worker_killed
-    end
-    (* Main lane: the calling domain cannot be respawned — it simply
-       requeues and keeps claiming. *)
-  | exception e ->
-    Mutex.lock t.m;
-    t.inflight.(slot) <- -1;
-    if t.failure = None then t.failure <- Some e;
-    t.completed <- t.completed + 1;
-    if t.completed >= t.total then Condition.broadcast t.work_done
+(* Steal one chunk for [thief]: scan the other queues racily for the
+   busiest, then pop under that queue's own mutex (re-checking, since
+   the owner may have drained it meanwhile).  One pass over descending
+   candidates is enough — a miss means the work is in flight, not
+   queued, and nothing queued can appear behind our back except on the
+   main lane (which is woken explicitly). *)
+let steal t thief =
+  let best = ref None in
+  Array.iter
+    (fun lane ->
+      if lane != thief then
+        let q = Atomic.get lane.queued in
+        if q > 0 then
+          match !best with
+          | Some (_, bq) when bq >= q -> ()
+          | _ -> best := Some (lane, q))
+    t.lanes;
+  match !best with
+  | None -> None
+  | Some (victim, _) ->
+    Mutex.lock victim.lm;
+    let chunk = pop victim in
+    Mutex.unlock victim.lm;
+    (match chunk with
+    | Some _ ->
+      Telemetry.Counter.incr steal_counter;
+      ignore (Atomic.fetch_and_add t.steals 1)
+    | None -> ());
+    chunk
 
-let worker_loop t ~slot ~last_gen =
-  let last = ref last_gen in
+(* Next chunk for [lane]: own queue first, then steal. *)
+let get_work t lane =
+  Mutex.lock lane.lm;
+  let own = pop lane in
+  Mutex.unlock lane.lm;
+  match own with
+  | Some chunk ->
+    observe_claim t lane;
+    Some chunk
+  | None -> (
+    match steal t lane with
+    | Some chunk ->
+      observe_claim t lane;
+      Some chunk
+    | None -> None)
+
+let complete_one t =
+  let before = Atomic.fetch_and_add t.completed 1 in
+  if before + 1 >= t.total then begin
+    (* Last item: wake the caller blocked in [run].  Exactly one lane
+       ever waits on [work_done], so a targeted signal suffices. *)
+    Mutex.lock t.m;
+    Condition.signal t.work_done;
+    Mutex.unlock t.m
+  end
+
+let set_failure t e =
   Mutex.lock t.m;
-  let running = ref true in
-  while !running do
-    while t.generation = !last && not t.shutdown do
-      Condition.wait t.work_ready t.m
-    done;
-    if t.shutdown then running := false
-    else begin
-      last := t.generation;
-      let gen = t.generation in
-      let claiming = ref true in
-      while !claiming do
-        match t.job with
-        | Some f when t.generation = gen -> (
-          match claim_locked t with
-          | Some i -> step t f ~slot i
-          | None -> claiming := false)
-        | _ -> claiming := false
-      done
-    end
-  done;
+  if t.failure = None then t.failure <- Some e;
   Mutex.unlock t.m
 
-(* Worker supervisor.  An exception escaping the loop means the lane is
-   gone: requeue whatever it had claimed, count the restart, and spawn
-   a replacement that joins the job already in flight ([last_gen] one
-   behind the current generation, so it claims immediately). *)
-let rec supervise t ~slot ~last_gen () =
-  try worker_loop t ~slot ~last_gen
-  with e ->
+(* Requeue the in-flight remainder of [lane]'s chunk (current index
+   included) onto the main lane's queue — the one lane guaranteed to
+   still be alive — and wake only the caller, which mops it up.  Used
+   by the [Worker_killed] hook and by the supervisor after any death. *)
+let requeue_inflight t lane =
+  if lane.cur >= 0 then begin
+    let chunk = (lane.cur, lane.hi) in
+    lane.cur <- -1;
+    let main = t.lanes.(t.workers) in
+    Mutex.lock main.lm;
+    push_front main chunk;
+    Mutex.unlock main.lm;
     Mutex.lock t.m;
-    if t.inflight.(slot) >= 0 then begin
-      t.orphans <- t.inflight.(slot) :: t.orphans;
-      t.inflight.(slot) <- -1
-    end;
+    Condition.signal t.work_done;
+    Mutex.unlock t.m
+  end
+
+(* Run one claimed chunk.  No lock is held while items execute.  A
+   worker lane hit by [Worker_killed] requeues the unfinished
+   remainder and re-raises so the supervisor can replace the domain;
+   on the main lane the remainder is requeued and claiming continues
+   (the caller's domain cannot be respawned).  Ordinary exceptions are
+   the job's failure: recorded once, and the item still counts as
+   completed so [run] can finish and re-raise. *)
+let run_chunk t f lane ~is_worker (lo, hi) =
+  lane.hi <- hi;
+  lane.cur <- lo;
+  let i = ref lo in
+  let live = ref true in
+  while !live && !i < hi do
+    (match f !i with
+    | () -> complete_one t
+    | exception Worker_killed ->
+      requeue_inflight t lane;
+      if is_worker then raise Worker_killed;
+      live := false
+    | exception e ->
+      set_failure t e;
+      complete_one t);
+    if !live then begin
+      incr i;
+      lane.cur <- !i
+    end
+  done;
+  lane.cur <- -1
+
+let worker_loop t lane =
+  let running = ref true in
+  while !running do
+    match if t.shutdown then None else get_work t lane with
+    | Some chunk -> (
+      match t.job with
+      | Some f -> run_chunk t f lane ~is_worker:true chunk
+      | None -> () (* unreachable: chunks never outlive their job *))
+    | None ->
+      (* Nothing local, nothing stealable: sleep on the private
+         condition until a submit deals this lane new chunks (or
+         shutdown).  Queues only grow at submit (this lane is then
+         signalled) and at orphan requeue (main lane only, and the
+         main lane never sleeps here), so sleeping cannot strand
+         claimable work. *)
+      Mutex.lock lane.lm;
+      if lane.chunks = [] && not t.shutdown then begin
+        Condition.wait lane.ready lane.lm;
+        if lane.chunks = [] && not t.shutdown then
+          Telemetry.Counter.incr spurious_counter
+      end;
+      if t.shutdown then running := false;
+      Mutex.unlock lane.lm
+  done
+
+(* Worker supervisor.  An exception escaping the loop means the lane is
+   gone: requeue whatever remained of its claimed chunk, count the
+   restart, and spawn a replacement that joins the job already in
+   flight (its queue — including any chunks the dead lane never got
+   to — survives untouched). *)
+let rec supervise t ~slot () =
+  let lane = t.lanes.(slot) in
+  try worker_loop t lane
+  with e ->
+    requeue_inflight t lane;
     (match e with
     | Worker_killed ->
       Telemetry.Log.debug
         ~fields:[ ("slot", string_of_int slot) ]
         "pool: worker killed (test hook), respawning"
     | e ->
-      if t.failure = None then t.failure <- Some e;
+      set_failure t e;
       Telemetry.Log.warn
         ~fields:[ ("slot", string_of_int slot); ("exn", Printexc.to_string e) ]
         "pool: worker domain died, respawning");
     Telemetry.Counter.incr restarts_counter;
-    if not t.shutdown then begin
-      let join_gen = t.generation - 1 in
-      t.domains <- Domain.spawn (supervise t ~slot ~last_gen:join_gen) :: t.domains
-    end;
-    Condition.broadcast t.work_ready;
-    Condition.broadcast t.work_done;
+    Mutex.lock t.m;
+    if not t.shutdown then
+      t.domains <- Domain.spawn (supervise t ~slot) :: t.domains;
+    Condition.signal t.work_done;
     Mutex.unlock t.m
 
 let shutdown t =
@@ -174,41 +307,64 @@ let shutdown t =
   if t.shutdown then Mutex.unlock t.m
   else begin
     t.shutdown <- true;
-    Condition.broadcast t.work_ready;
     (* Snapshot after the flag is set: any supervisor that locks the
        mutex later sees [shutdown] and does not spawn a replacement, so
        the snapshot covers every domain that will ever exist. *)
     let domains = t.domains in
     t.domains <- [];
     Mutex.unlock t.m;
+    (* Targeted wakeups even here: each sleeping worker idles on its
+       own condition variable. *)
+    Array.iteri
+      (fun slot lane ->
+        if slot < t.workers then begin
+          Mutex.lock lane.lm;
+          Condition.signal lane.ready;
+          Mutex.unlock lane.lm
+        end)
+      t.lanes;
     List.iter Domain.join domains
   end
 
-let create workers =
+(* Hardware-aware sizing: a worker domain beyond the machine's
+   available parallelism can never speed a batch up — it can only
+   timeshare a core the other lanes already saturate — yet its mere
+   existence taxes every stop-the-world minor collection, which must
+   synchronise with all live domains (even ones parked in
+   [Condition.wait], via their backup threads; on an oversubscribed
+   single-core host that synchronisation rides the OS scheduler and
+   was measured to double an 8-item batch, DESIGN §13).  So by
+   default [create] spawns at most [recommended_domain_count () - 1]
+   workers — possibly zero, leaving the stealing caller as the only
+   lane — and the requested surplus simply never exists.  [~eager]
+   spawns the full request regardless, for supervision tests and
+   deliberate oversubscription. *)
+let create ?(eager = false) workers =
   if workers <= 0 then invalid_arg "Pool.create: need at least one worker";
+  let workers =
+    if eager then workers
+    else min workers (max 0 (Domain.recommended_domain_count () - 1))
+  in
   let t =
     {
       m = Mutex.create ();
-      work_ready = Condition.create ();
       work_done = Condition.create ();
+      lanes = Array.init (workers + 1) (fun _ -> new_lane ());
+      completed = Atomic.make 0;
       job = None;
-      next = 0;
-      orphans = [];
-      inflight = Array.make (workers + 1) (-1);
-      claim_gen = Array.make (workers + 1) 0;
-      posted_ns = 0L;
       total = 0;
-      completed = 0;
       failure = None;
       generation = 0;
+      posted_ns = 0L;
       shutdown = false;
       domains = [];
+      steals = Atomic.make 0;
       workers;
     }
   in
-  t.domains <- List.init workers (fun slot -> Domain.spawn (supervise t ~slot ~last_gen:0));
-  (* Idle workers block on [work_ready]; make sure process exit does
-     not hang waiting for them. *)
+  t.domains <- List.init workers (fun slot -> Domain.spawn (supervise t ~slot));
+  (* Idle workers block on their lane condition; make sure process exit
+     does not hang waiting for them. *)
   at_exit (fun () -> shutdown t);
   t
 
@@ -218,17 +374,49 @@ type stats = {
   lanes : int;
   busy_lanes : int;
   job_active : bool;
+  queue_depths : int list;
+  steals : int;
 }
 
 let stats t =
   Mutex.lock t.m;
   let busy = ref 0 in
-  Array.iter (fun i -> if i >= 0 then incr busy) t.inflight;
-  let s = { lanes = t.workers + 1; busy_lanes = !busy; job_active = t.job <> None } in
+  Array.iter (fun l -> if l.cur >= 0 then incr busy) t.lanes;
+  let s =
+    {
+      lanes = t.workers + 1;
+      busy_lanes = !busy;
+      job_active = t.job <> None;
+      queue_depths = Array.to_list (Array.map (fun l -> Atomic.get l.queued) t.lanes);
+      steals = Atomic.get t.steals;
+    }
+  in
   Mutex.unlock t.m;
   s
 
-let run t f n =
+(* Deal [0..n-1] into contiguous chunks round-robin across the lanes,
+   main lane first so the caller's first claim is always local.  The
+   default chunk size spreads the batch over every lane, capped at
+   [max_chunk] so large batches still rebalance by stealing. *)
+let distribute (t : t) n chunk =
+  let lanes = Array.length t.lanes in
+  let order = Array.init lanes (fun k -> (t.workers + k) mod lanes) in
+  let got = Array.make lanes false in
+  let l = ref 0 in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + chunk) in
+    let lane = t.lanes.(order.(!l)) in
+    Mutex.lock lane.lm;
+    push_back lane (!lo, hi);
+    Mutex.unlock lane.lm;
+    got.(order.(!l)) <- true;
+    l := (!l + 1) mod lanes;
+    lo := hi
+  done;
+  got
+
+let run ?chunk (t : t) f n =
   if n > 0 then begin
     Mutex.lock t.m;
     if t.shutdown then begin
@@ -236,27 +424,49 @@ let run t f n =
       invalid_arg "Pool.run: pool is shut down"
     end;
     t.job <- Some f;
-    t.next <- 0;
-    t.orphans <- [];
     t.total <- n;
-    t.completed <- 0;
+    Atomic.set t.completed 0;
     t.failure <- None;
     t.generation <- t.generation + 1;
     t.posted_ns <- now_ns ();
-    Condition.broadcast t.work_ready;
-    (* The caller is a lane too; it also mops up orphans left by dead
-       workers, so completion never depends on a respawn racing in. *)
-    let slot = t.workers in
-    let continue_ = ref true in
-    while !continue_ do
-      match claim_locked t with
-      | Some i -> step t f ~slot i
+    Mutex.unlock t.m;
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (min max_chunk ((n + Array.length t.lanes - 1) / Array.length t.lanes))
+    in
+    let got = distribute t n chunk in
+    (* Targeted wakeups: only the worker lanes that actually received a
+       chunk are signalled; everyone else keeps sleeping. *)
+    Array.iteri
+      (fun slot lane ->
+        if slot < t.workers && got.(slot) then Condition.signal lane.ready)
+      t.lanes;
+    (* The caller is a lane too: drain its own queue, then steal.  It
+       also mops up orphans left by dead workers (requeued onto its
+       queue), so completion never depends on a respawn racing in. *)
+    let main = t.lanes.(t.workers) in
+    let driving = ref true in
+    while !driving do
+      match get_work t main with
+      | Some chunk -> run_chunk t f main ~is_worker:false chunk
       | None ->
-        if t.completed >= t.total then continue_ := false
-        else Condition.wait t.work_done t.m
+        if Atomic.get t.completed >= t.total then driving := false
+        else begin
+          Mutex.lock t.m;
+          while
+            Atomic.get t.completed < t.total && Atomic.get main.queued = 0
+          do
+            Condition.wait t.work_done t.m
+          done;
+          Mutex.unlock t.m;
+          if Atomic.get t.completed >= t.total then driving := false
+          (* else: an orphan landed on our queue — go claim it. *)
+        end
     done;
     (* Leave no job state behind even when re-raising, so the pool is
        immediately reusable after a failed run. *)
+    Mutex.lock t.m;
     t.job <- None;
     let fail = t.failure in
     t.failure <- None;

@@ -1,44 +1,84 @@
-(** Fixed pool of worker domains for index-parallel jobs.
+(** Sharded work-stealing pool of worker domains for index-parallel
+    jobs.
 
     Built on [Domain]/[Mutex]/[Condition] only.  [run t f n] evaluates
     [f i] for every [i < n], with the calling domain participating as
     one lane alongside the workers; it returns once all indices have
     completed, re-raising the first exception any [f i] raised.  [f]
     must confine its writes to per-index slots — that is what makes the
-    result independent of claim order. *)
+    result independent of claim order.
+
+    Scheduling (DESIGN §13): submit deals contiguous index chunks
+    round-robin across per-lane run queues (main lane first); a lane
+    claims chunks from its own queue and steals from the busiest other
+    queue when it drains.  Wakeups are targeted [signal]s — only lanes
+    that can make progress are woken — and a wake that finds nothing
+    claimable counts [pool.wakeup.spurious].  Each steal counts
+    [pool.steal.count]. *)
 
 type t
 
 exception Worker_killed
 (** Test hook simulating an abrupt worker-domain death.  A job function
     raising this from a worker lane kills that domain: the supervisor
-    requeues the claimed index, increments [pool.worker.restarts] and
-    spawns a replacement that joins the in-flight job.  Raised on the
-    main lane it simply requeues and continues (the caller's domain
-    cannot be respawned).  Unlike ordinary exceptions it is not
-    recorded as the job's failure — the index is retried instead. *)
+    requeues the unfinished remainder of the claimed chunk (current
+    index included) onto the main lane's queue, increments
+    [pool.worker.restarts] and spawns a replacement; chunks still
+    queued on the dead lane survive for the replacement (or a thief).
+    Raised on the main lane it simply requeues and continues (the
+    caller's domain cannot be respawned).  Unlike ordinary exceptions
+    it is not recorded as the job's failure — the indices are retried
+    instead. *)
 
-val create : int -> t
-(** [create workers] spawns that many worker domains (>= 1); they idle
-    on a condition variable between jobs and are joined at process
-    exit. *)
+val create : ?eager:bool -> int -> t
+(** [create workers] asks for that many worker domains (>= 1); they
+    idle on per-lane condition variables between jobs and are joined
+    at process exit.
+
+    Sizing is hardware-aware by default: at most
+    [Domain.recommended_domain_count () - 1] workers are actually
+    spawned (possibly zero, leaving the stealing caller as the only
+    lane).  A worker beyond the machine's available parallelism can
+    only timeshare a saturated core, yet its existence taxes every
+    stop-the-world minor collection — oversubscription measurably
+    *loses* batch throughput, so the surplus simply never exists and
+    scaling stays monotone in the requested lane count.
+    [~eager:true] spawns the full request regardless; supervision
+    tests use it to force worker-lane participation (and deaths)
+    deterministically.  Results are bit-identical either way — only
+    wall-clock changes. *)
 
 val workers : t -> int
+(** Worker domains actually spawned (lanes - 1); at most the request
+    passed to {!create}. *)
+
+val max_chunk : int
+(** The scheduler's largest submit-time chunk (16).  [Faults.Campaign]
+    reuses it as its checkpoint/interrupt granularity so campaign
+    chunking and scheduler chunking are one policy. *)
 
 type stats = {
   lanes : int;  (** workers + the participating main lane *)
-  busy_lanes : int;  (** lanes holding a claimed index right now *)
+  busy_lanes : int;  (** lanes running a claimed index right now *)
   job_active : bool;
+  queue_depths : int list;  (** queued items per lane, main lane last *)
+  steals : int;  (** lifetime stolen chunks *)
 }
 
 val stats : t -> stats
-(** Instantaneous occupancy snapshot (takes the pool mutex briefly);
-    safe from any domain, used by the live monitor.  Scheduling
-    history accumulates in the [pool.queue.wait_ns] (post-to-first-
-    claim latency per lane per job) and [pool.lane.busy] (occupancy
-    observed at each claim) histograms. *)
+(** Instantaneous scheduler snapshot (takes the job mutex briefly;
+    queue depths are atomic reads); safe from any domain, used by the
+    live monitor.  Scheduling history accumulates in the
+    [pool.queue.wait_ns] (post-to-first-claim latency per lane per
+    job) and [pool.lane.busy] (occupancy observed at each chunk claim)
+    histograms, plus the [pool.steal.count] and
+    [pool.wakeup.spurious] counters. *)
 
-val run : t -> (int -> unit) -> int -> unit
+val run : ?chunk:int -> t -> (int -> unit) -> int -> unit
+(** [run ?chunk t f n] evaluates [f i] for all [i < n].  [chunk]
+    overrides the submit-time chunk size (default: [n] spread evenly
+    over the lanes, capped at {!max_chunk}); mainly for tests and
+    benchmarks that want to force queue traffic. *)
 
 val shutdown : t -> unit
 (** Join all workers.  Idempotent; the pool is unusable afterwards. *)

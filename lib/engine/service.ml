@@ -84,7 +84,11 @@ let monitor_gauges () =
         [
           ("pool_lanes", float_of_int s.Pool.lanes);
           ("pool_lanes_busy", float_of_int s.Pool.busy_lanes);
+          ("pool_steals", float_of_int s.Pool.steals);
         ]
+        @ List.mapi
+            (fun i d -> (Printf.sprintf "pool_queue_depth_lane%d" i, float_of_int d))
+            s.Pool.queue_depths
     in
     let deadline_g =
       match t.deadline with
@@ -293,9 +297,13 @@ let eval_batch_inner ?token t ?account reqs =
             | None -> ()))
         to_store);
     let misses = Array.of_list (List.filter (fun i -> results.(i) = None) (Array.to_list to_store)) in
-    (* Each completed compute journals itself before publishing, from
-       whichever domain ran it — an interrupt mid-batch loses only the
-       evaluations that had not finished. *)
+    (* The pool shards [misses] across its per-lane run queues (chunked
+       round-robin + stealing, DESIGN §13); result-slot ordering is
+       preserved because each worker writes only [results.(misses.(j))]
+       for the [j] it claimed, so claim order never shows in the
+       output.  Each completed compute journals itself before
+       publishing, from whichever domain ran it — an interrupt
+       mid-batch loses only the evaluations that had not finished. *)
     let run_one j =
       let i = misses.(j) in
       let value = compute_tok ~token arr.(i) in

@@ -96,8 +96,13 @@ exception Halt of string
 
 (* Fixed chunk size, independent of --jobs: checkpoint granularity and
    the injected-interrupt cut points are properties of the campaign,
-   not of the backend that happens to run it. *)
-let chunk_size = 16
+   not of the backend that happens to run it.  The constant is the
+   scheduler's own maximum submit-time chunk ([Engine.Pool.max_chunk]),
+   so one policy governs both how the campaign cuts its checkpoint
+   boundaries and how the pool deals work across lanes — a 16-cell
+   campaign batch is exactly one scheduler chunk's worth of items,
+   spread over the lanes by the chunked round-robin inside the pool. *)
+let chunk_size = Engine.Pool.max_chunk
 
 let split_at n xs =
   let rec go k acc = function

@@ -95,15 +95,60 @@ let test_batch_order () =
 let seq_engine = lazy (Engine.Service.create ~jobs:1 ~cache:false ())
 let pool_engine = lazy (Engine.Service.create ~jobs:2 ~cache:false ())
 let pool_engine4 = lazy (Engine.Service.create ~jobs:4 ~cache:false ())
+let pool_engine8 = lazy (Engine.Service.create ~jobs:8 ~cache:false ())
 
+(* The whole jobs sweep the CLI exposes: the sharded scheduler must be
+   invisible in the results at every lane count. *)
 let prop_backend_equivalence =
-  QCheck.Test.make ~name:"Seq and Domains backends agree bit-for-bit" ~count:4
+  QCheck.Test.make ~name:"Seq and Domains backends agree bit-for-bit at jobs 2/4/8"
+    ~count:4
     QCheck.(list_of_size (Gen.int_range 1 4) (int_range 0 63))
     (fun flipped_bits ->
       let reqs = List.map (fun bit -> request (config_of_bit bit)) flipped_bits in
       let seq = Engine.Service.eval_batch ~engine:(Lazy.force seq_engine) reqs in
-      let par = Engine.Service.eval_batch ~engine:(Lazy.force pool_engine) reqs in
-      List.for_all2 same_measurement seq par)
+      List.for_all
+        (fun engine ->
+          let par = Engine.Service.eval_batch ~engine:(Lazy.force engine) reqs in
+          List.for_all2 same_measurement seq par)
+        [ pool_engine; pool_engine4; pool_engine8 ])
+
+(* Campaign output across the jobs sweep: the fig7-style grid of cells
+   and the flip probes must be bit-identical however the scheduler
+   deals, steals and rebalances the batches.  (The CLI-level byte
+   compare of the full fig7/campaign reports is `make engine-smoke` /
+   `make sched-smoke`; this is the in-process property.) *)
+let same_campaign (a : Faults.Campaign.t) (b : Faults.Campaign.t) =
+  List.length a.Faults.Campaign.cells = List.length b.Faults.Campaign.cells
+  && List.for_all2
+       (fun (x : Faults.Campaign.cell) (y : Faults.Campaign.cell) ->
+         x.Faults.Campaign.die_seed = y.Faults.Campaign.die_seed
+         && x.Faults.Campaign.mechanism = y.Faults.Campaign.mechanism
+         && bits x.Faults.Campaign.snr_mod_db = bits y.Faults.Campaign.snr_mod_db
+         && bits x.Faults.Campaign.lock_margin_db = bits y.Faults.Campaign.lock_margin_db
+         && x.Faults.Campaign.in_spec = y.Faults.Campaign.in_spec)
+       a.Faults.Campaign.cells b.Faults.Campaign.cells
+  && List.for_all2
+       (fun (x : Faults.Campaign.flip_probe) (y : Faults.Campaign.flip_probe) ->
+         x.Faults.Campaign.bit = y.Faults.Campaign.bit
+         && bits x.Faults.Campaign.flip_snr_mod_db = bits y.Faults.Campaign.flip_snr_mod_db
+         && x.Faults.Campaign.survives_full = y.Faults.Campaign.survives_full)
+       a.Faults.Campaign.flips b.Faults.Campaign.flips
+  && a.Faults.Campaign.unlocked_bits = b.Faults.Campaign.unlocked_bits
+
+let prop_campaign_jobs_equivalence =
+  QCheck.Test.make ~name:"campaign cells/flips bit-identical across jobs 1/4/8" ~count:1
+    QCheck.(int_range 40 44)
+    (fun seed ->
+      let run engine =
+        match
+          Faults.Campaign.run ~dies:1 ~seed ~engine standard
+        with
+        | Ok c -> c
+        | Error e -> QCheck.Test.fail_report (Faults.Error.to_string e)
+      in
+      let base = run (Lazy.force seq_engine) in
+      same_campaign base (run (Lazy.force pool_engine4))
+      && same_campaign base (run (Lazy.force pool_engine8)))
 
 (* ------------------------------------------------------------ account *)
 
@@ -157,7 +202,10 @@ let test_pool_reusable_after_exception () =
   Engine.Pool.shutdown pool
 
 let test_pool_worker_respawn () =
-  let pool = Engine.Pool.create 2 in
+  (* Eager: the test needs a worker lane to actually wake and claim so
+     the one-shot kill lands on it — the default hardware-aware wake
+     budget may leave every worker parked on a small machine. *)
+  let pool = Engine.Pool.create ~eager:true 2 in
   let n = 64 in
   let main = Domain.self () in
   let killed = Atomic.make false in
@@ -184,6 +232,64 @@ let test_pool_worker_respawn () =
   Array.fill out 0 n 0;
   Engine.Pool.run pool (fun i -> out.(i) <- i + 1) n;
   Alcotest.(check bool) "pool usable after the respawn" true (Array.for_all (fun v -> v > 0) out);
+  Engine.Pool.shutdown pool
+
+(* Steal under skew: single-index chunks deal every 4th index to each
+   of the 4 lanes, and the indices owned by worker lanes are made
+   slow.  Whichever lane drains first (on a small CI box that is the
+   main lane, whose items are fast and whose workers may barely get
+   scheduled) must pull the remaining chunks off the loaded queues —
+   completion plus a nonzero steal count proves the path, on one core
+   or many. *)
+let test_pool_steal_under_skew () =
+  let pool = Engine.Pool.create ~eager:true 3 in
+  let steals0 = counter "pool.steal.count" in
+  let n = 64 in
+  let out = Array.make n 0 in
+  Engine.Pool.run ~chunk:1 pool
+    (fun i ->
+      (* Deal order is main,w0,w1,w2 — [i mod 4 <> 0] lands on a
+         worker lane's queue.  A coarse spin stands in for a slow
+         work item. *)
+      if i mod 4 <> 0 then
+        for _ = 1 to 20_000 do
+          Domain.cpu_relax ()
+        done;
+      out.(i) <- out.(i) + 1)
+    n;
+  Alcotest.(check bool) "every index ran exactly once" true (Array.for_all (( = ) 1) out);
+  Alcotest.(check bool) "at least one chunk was stolen" true
+    (counter "pool.steal.count" > steals0);
+  Engine.Pool.shutdown pool
+
+(* Respawn mid-chunk: a worker dies partway through a multi-index
+   chunk (possibly one it stole).  The unfinished remainder — the
+   in-flight index included — must be requeued and completed by the
+   survivors, exactly once each, and the dead lane must be replaced. *)
+let test_pool_respawn_mid_chunk () =
+  let pool = Engine.Pool.create ~eager:true 2 in
+  let n = 24 in
+  let main = Domain.self () in
+  let killed = Atomic.make false in
+  let restarts0 = counter "pool.worker.restarts" in
+  let out = Array.make n 0 in
+  Engine.Pool.run ~chunk:4 pool
+    (fun i ->
+      if Domain.self () <> main && Atomic.compare_and_set killed false true then
+        raise Engine.Pool.Worker_killed;
+      while not (Atomic.get killed) do
+        Domain.cpu_relax ()
+      done;
+      out.(i) <- out.(i) + 1)
+    n;
+  Alcotest.(check bool) "a worker lane was killed" true (Atomic.get killed);
+  Alcotest.(check bool) "every index completed exactly once" true
+    (Array.for_all (( = ) 1) out);
+  Alcotest.(check int) "restart counted" (restarts0 + 1) (counter "pool.worker.restarts");
+  Array.fill out 0 n 0;
+  Engine.Pool.run pool (fun i -> out.(i) <- i + 1) n;
+  Alcotest.(check bool) "pool usable after the mid-chunk respawn" true
+    (Array.for_all (fun v -> v > 0) out);
   Engine.Pool.shutdown pool
 
 (* ----------------------------------------------------------- deadline *)
@@ -418,7 +524,7 @@ let () =
         ] );
       ( "batch",
         [ Alcotest.test_case "order preservation" `Quick test_batch_order ]
-        @ qcheck [ prop_backend_equivalence ] );
+        @ qcheck [ prop_backend_equivalence; prop_campaign_jobs_equivalence ] );
       ( "account",
         [ Alcotest.test_case "atomic charge hammer" `Quick test_account_atomic_hammer ]
         @ qcheck [ prop_shared_account ] );
@@ -428,6 +534,9 @@ let () =
             test_pool_reusable_after_exception;
           Alcotest.test_case "worker death respawns and requeues" `Quick
             test_pool_worker_respawn;
+          Alcotest.test_case "steal under skew" `Quick test_pool_steal_under_skew;
+          Alcotest.test_case "respawn mid-chunk requeues the remainder" `Quick
+            test_pool_respawn_mid_chunk;
         ] );
       ( "deadline",
         [
