@@ -72,6 +72,15 @@ sched-smoke: build
 	cmp /tmp/sched-jobs1.out /tmp/sched-jobs4.out
 	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --jobs 8 > /tmp/sched-jobs8.out
 	cmp /tmp/sched-jobs1.out /tmp/sched-jobs8.out
+	# Interrupt mid-stream: with the whole grid in flight the report
+	# must still cut at exactly the k-th delivered cell, byte-identically
+	# at every lane count (exit 130 = interrupted, as SIGINT would be).
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --interrupt-after 7 --jobs 1 > /tmp/sched-int-jobs1.out; test $$? -eq 130
+	grep -q '"completed_cells":7' /tmp/sched-int-jobs1.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --interrupt-after 7 --jobs 4 > /tmp/sched-int-jobs4.out; test $$? -eq 130
+	cmp /tmp/sched-int-jobs1.out /tmp/sched-int-jobs4.out
+	./_build/default/bin/repro.exe faults --seed 42 --standard bluetooth --json --interrupt-after 7 --jobs 8 > /tmp/sched-int-jobs8.out; test $$? -eq 130
+	cmp /tmp/sched-int-jobs1.out /tmp/sched-int-jobs8.out
 
 # Crash-safe resume: journal a campaign to a checkpoint, SIGINT it
 # mid-flight, resume from the journal, and require the resumed report

@@ -181,6 +181,28 @@ let steal_pool = lazy (Engine.Pool.create ~eager:true 3)
 let bench_pool_steal () =
   Engine.Pool.run ~chunk:1 (Lazy.force steal_pool) (fun _ -> ()) 256
 
+(* STREAM kernels (DESIGN §14).  [engine:stream-grid] pushes the same
+   8-key grid through submit/next_result/drain instead of the joined
+   batch — against engine:batch8-1domain the difference is the
+   streaming layer's own tax (ticket, completion queue, per-item
+   delivery) now that the submit barrier is gone.  [pool:wakeup-capped]
+   times a default-chunk submit small enough that the wakeup budget
+   engages a single lane: the eager workers stay parked, so the figure
+   is the cost of posting and completing a batch without poking any
+   sleeping domain. *)
+let bench_engine_stream () =
+  let stream =
+    Engine.Service.eval_stream ~engine:(Lazy.force engine_uncached) (Lazy.force engine_batch)
+  in
+  match Engine.Service.stream_drain stream with
+  | Ok ms -> ignore ms
+  | Error _ -> assert false (* no per-stream deadline is attached here *)
+
+let bench_pool_wakeup_capped () =
+  (* 8 no-op items under the default layout: ⌈8 / max_chunk⌉ = 1 lane
+     engaged, three eager workers left asleep. *)
+  Engine.Pool.run (Lazy.force steal_pool) (fun _ -> ()) 8
+
 (* TELEMETRY kernels: the instrumentation's own cost.  The disabled
    span is the price every instrumented call site pays on a plain run
    (the overhead policy says near-zero); counter increments are
@@ -246,7 +268,14 @@ let tests =
     Test.make ~name:"engine:batch8-2domains" (Staged.stage (bench_engine_batch engine_pool2));
     Test.make ~name:"engine:batch8-4domains" (Staged.stage (bench_engine_batch engine_pool4));
     Test.make ~name:"engine:batch8-8domains" (Staged.stage (bench_engine_batch engine_pool8));
+    (* stream-grid must run before any pool:* kernel forces the eager
+       3-worker fixture into existence: from that point on every minor
+       GC pays the parked-domain barrier tax (§13), which would double
+       an allocation-heavy kernel's figure.  The zero-allocation pool
+       kernels are immune to the ordering. *)
+    Test.make ~name:"engine:stream-grid" (Staged.stage bench_engine_stream);
     Test.make ~name:"pool:steal" (Staged.stage bench_pool_steal);
+    Test.make ~name:"pool:wakeup-capped" (Staged.stage bench_pool_wakeup_capped);
     Test.make ~name:"telemetry:span-disabled" (Staged.stage bench_span_disabled);
     Test.make ~name:"telemetry:counter-incr" (Staged.stage bench_counter_incr);
     Test.make ~name:"telemetry:cancel-poll-1k" (Staged.stage bench_cancel_poll);

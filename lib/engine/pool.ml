@@ -45,7 +45,22 @@
    replacement pops them, and until it arrives they are stealable like
    any other queue.  Orphaned work therefore delays, but never loses,
    its indices, and [run] still returns only when every index has
-   actually completed. *)
+   actually completed.
+
+   Streaming (DESIGN §14): [submit_stream] posts a whole job at once
+   and returns a ticket instead of blocking.  Completions are pushed —
+   index by index, from whichever lane finished the item — onto a
+   per-job completion queue guarded by the job's own mutex, and
+   [next_result] pops them in completion order.  When nothing has
+   completed yet the consumer does not idle: it claims work on the
+   main lane exactly like [run] does, but one item at a time (the
+   remainder of a claimed chunk is pushed back, where a thief can
+   still take it), so delivery granularity on a worker-less host is a
+   single item.  Ordering inside [complete_one] is what makes teardown
+   safe: the completion counter is incremented *before* the index is
+   pushed, so once the consumer has popped all [n] completions every
+   increment has happened and no lane will touch the job state
+   again. *)
 
 exception Worker_killed
 
@@ -63,11 +78,10 @@ let lane_busy_hist = Telemetry.Histogram.make "pool.lane.busy"
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-(* The scheduler's largest submit-time chunk.  Shared with
-   [Faults.Campaign], whose checkpoint/interrupt granularity rides the
-   same constant so campaign chunking and scheduler chunking are one
-   policy (16 items is also small enough that a default-sized batch
-   still deals work to every lane). *)
+(* The scheduler's largest submit-time chunk, and the unit of the
+   wakeup budget: a submit engages at most ⌈n / max_chunk⌉ lanes, so a
+   tiny batch no longer wakes (and GC-taxes) domains that would each
+   receive less than a chunk's worth of work. *)
 let max_chunk = 16
 
 type lane = {
@@ -86,6 +100,18 @@ type lane = {
   mutable claim_gen : int;
 }
 
+(* Per-streaming-job completion channel.  [completions] holds the
+   indices of finished items in completion order, guarded by [cm];
+   lanes push under [cm] and signal [cready], the consumer (always the
+   main domain) pops.  The queue is monomorphic — results themselves
+   live in the ticket's array, written by the job closure — so the
+   pool type stays unparameterised. *)
+type stream_state = {
+  cm : Mutex.t;
+  cready : Condition.t;
+  completions : int Queue.t;
+}
+
 type t = {
   m : Mutex.t;  (* job lifecycle: submit, final completion, failure, orphans *)
   work_done : Condition.t;  (* only the caller blocked in [run] waits here *)
@@ -100,6 +126,10 @@ type t = {
   mutable domains : unit Domain.t list;
   steals : int Atomic.t;  (* lifetime stolen chunks, for [stats] *)
   workers : int;  (* worker domains actually spawned (lanes - 1) *)
+  (* Completion channel of the active streaming job, [None] for [run]
+     jobs and between jobs.  Atomic because lanes read it on every
+     completion without holding any lock. *)
+  stream : stream_state option Atomic.t;
 }
 
 let new_lane () =
@@ -189,8 +219,27 @@ let get_work t lane =
       Some chunk
     | None -> None)
 
-let complete_one t =
+let complete_one t i =
+  (* Capture the stream identity *before* the increment: a [discard]
+     may observe the counter hit [total] (via a sibling's signal),
+     release the job and let a new one post while this lane is still
+     between its increment and its push — the capture pins the push to
+     the old job's (now unreferenced, harmless) queue instead of
+     corrupting the new job's.  The increment itself comes strictly
+     before the push: the streaming consumer treats "popped all [n]
+     completions" as proof that all [n] increments have landed (each
+     push happens-after its own increment in program order and the
+     pushes are serialised by [cm]), which is what lets it tear the
+     job state down without a second synchronisation. *)
+  let stream = Atomic.get t.stream in
   let before = Atomic.fetch_and_add t.completed 1 in
+  (match stream with
+  | Some st ->
+    Mutex.lock st.cm;
+    Queue.push i st.completions;
+    Condition.signal st.cready;
+    Mutex.unlock st.cm
+  | None -> ());
   if before + 1 >= t.total then begin
     (* Last item: wake the caller blocked in [run].  Exactly one lane
        ever waits on [work_done], so a targeted signal suffices. *)
@@ -218,7 +267,17 @@ let requeue_inflight t lane =
     Mutex.unlock main.lm;
     Mutex.lock t.m;
     Condition.signal t.work_done;
-    Mutex.unlock t.m
+    Mutex.unlock t.m;
+    (* A streaming consumer may be blocked on the completion condition
+       waiting for progress; the orphan landing on the main queue *is*
+       the progress (the consumer claims it), so poke that condition
+       too. *)
+    match Atomic.get t.stream with
+    | Some st ->
+      Mutex.lock st.cm;
+      Condition.signal st.cready;
+      Mutex.unlock st.cm
+    | None -> ()
   end
 
 (* Run one claimed chunk.  No lock is held while items execute.  A
@@ -235,14 +294,14 @@ let run_chunk t f lane ~is_worker (lo, hi) =
   let live = ref true in
   while !live && !i < hi do
     (match f !i with
-    | () -> complete_one t
+    | () -> complete_one t !i
     | exception Worker_killed ->
       requeue_inflight t lane;
       if is_worker then raise Worker_killed;
       live := false
     | exception e ->
       set_failure t e;
-      complete_one t);
+      complete_one t !i);
     if !live then begin
       incr i;
       lane.cur <- !i
@@ -360,6 +419,7 @@ let create ?(eager = false) workers =
       domains = [];
       steals = Atomic.make 0;
       workers;
+      stream = Atomic.make None;
     }
   in
   t.domains <- List.init workers (fun slot -> Domain.spawn (supervise t ~slot));
@@ -394,13 +454,13 @@ let stats t =
   Mutex.unlock t.m;
   s
 
-(* Deal [0..n-1] into contiguous chunks round-robin across the lanes,
-   main lane first so the caller's first claim is always local.  The
-   default chunk size spreads the batch over every lane, capped at
-   [max_chunk] so large batches still rebalance by stealing. *)
-let distribute (t : t) n chunk =
+(* Deal [0..n-1] into contiguous chunks round-robin across the first
+   [lanes_cap] lanes in deal order (main lane first, so the caller's
+   first claim is always local). *)
+let distribute (t : t) n chunk ~lanes_cap =
   let lanes = Array.length t.lanes in
-  let order = Array.init lanes (fun k -> (t.workers + k) mod lanes) in
+  let use = min lanes (max 1 lanes_cap) in
+  let order = Array.init use (fun k -> (t.workers + k) mod lanes) in
   let got = Array.make lanes false in
   let l = ref 0 in
   let lo = ref 0 in
@@ -411,37 +471,63 @@ let distribute (t : t) n chunk =
     push_back lane (!lo, hi);
     Mutex.unlock lane.lm;
     got.(order.(!l)) <- true;
-    l := (!l + 1) mod lanes;
+    l := (!l + 1) mod use;
     lo := hi
   done;
   got
 
+(* Batch-size-aware submit layout.  By default a submit engages only
+   ⌈n / max_chunk⌉ lanes — waking a domain costs a condvar signal, an
+   OS reschedule and a per-domain share of every stop-the-world minor
+   GC (DESIGN §13), which is a bad trade for less than a chunk's worth
+   of work — and sizes chunks to spread [n] evenly over exactly those
+   lanes.  Large batches degenerate to the old layout (every lane, 16
+   a chunk); small ones stay on the caller's lane and wake nobody.
+   Stealing still rebalances inside the engaged set if the items turn
+   out to be skewed.  An explicit [?chunk] override keeps the
+   every-lane deal so tests and benchmarks can force queue traffic. *)
+let job_layout (t : t) n chunk =
+  let lanes = Array.length t.lanes in
+  match chunk with
+  | Some c -> (max 1 c, lanes)
+  | None ->
+    let cap = min lanes (max 1 ((n + max_chunk - 1) / max_chunk)) in
+    (max 1 (min max_chunk ((n + cap - 1) / cap)), cap)
+
+(* Post a job's bookkeeping (under [t.m]) and deal its chunks; shared
+   by [run] and [submit_stream].  Exactly one job may be in flight:
+   posting while another job (streaming or not) is active is a
+   caller bug, reported rather than deadlocked on. *)
+let post ~api (t : t) f n chunk stream =
+  Mutex.lock t.m;
+  if t.shutdown then begin
+    Mutex.unlock t.m;
+    invalid_arg (api ^ ": pool is shut down")
+  end;
+  if t.job <> None then begin
+    Mutex.unlock t.m;
+    invalid_arg (api ^ ": a job is already in flight (drain or discard it first)")
+  end;
+  t.job <- Some f;
+  t.total <- n;
+  Atomic.set t.completed 0;
+  t.failure <- None;
+  t.generation <- t.generation + 1;
+  t.posted_ns <- now_ns ();
+  Atomic.set t.stream stream;
+  Mutex.unlock t.m;
+  let chunk, lanes_cap = job_layout t n chunk in
+  let got = distribute t n chunk ~lanes_cap in
+  (* Targeted wakeups: only the worker lanes that actually received a
+     chunk are signalled; everyone else keeps sleeping. *)
+  Array.iteri
+    (fun slot lane ->
+      if slot < t.workers && got.(slot) then Condition.signal lane.ready)
+    t.lanes
+
 let run ?chunk (t : t) f n =
   if n > 0 then begin
-    Mutex.lock t.m;
-    if t.shutdown then begin
-      Mutex.unlock t.m;
-      invalid_arg "Pool.run: pool is shut down"
-    end;
-    t.job <- Some f;
-    t.total <- n;
-    Atomic.set t.completed 0;
-    t.failure <- None;
-    t.generation <- t.generation + 1;
-    t.posted_ns <- now_ns ();
-    Mutex.unlock t.m;
-    let chunk =
-      match chunk with
-      | Some c -> max 1 c
-      | None -> max 1 (min max_chunk ((n + Array.length t.lanes - 1) / Array.length t.lanes))
-    in
-    let got = distribute t n chunk in
-    (* Targeted wakeups: only the worker lanes that actually received a
-       chunk are signalled; everyone else keeps sleeping. *)
-    Array.iteri
-      (fun slot lane ->
-        if slot < t.workers && got.(slot) then Condition.signal lane.ready)
-      t.lanes;
+    post ~api:"Pool.run" t f n chunk None;
     (* The caller is a lane too: drain its own queue, then steal.  It
        also mops up orphans left by dead workers (requeued onto its
        queue), so completion never depends on a respawn racing in. *)
@@ -473,3 +559,145 @@ let run ?chunk (t : t) f n =
     Mutex.unlock t.m;
     match fail with Some e -> raise e | None -> ()
   end
+
+(* ------------------------------------------------------- streaming *)
+
+type 'a ticket = {
+  pool : t;
+  results : ('a, exn) result option array;  (* slot [i] written by item [i] only *)
+  tn : int;
+  st : stream_state;
+  mutable delivered : int;
+  mutable closed : bool;  (* job state torn down (drained or discarded) *)
+}
+
+(* Clear the pool's job state once no lane can touch it again — the
+   caller has either popped all [tn] completions or waited out the
+   in-flight stragglers. *)
+let release tk =
+  let t = tk.pool in
+  tk.closed <- true;
+  Mutex.lock t.m;
+  t.job <- None;
+  Atomic.set t.stream None;
+  t.failure <- None;
+  Mutex.unlock t.m
+
+let submit_stream ?chunk (t : t) f n =
+  let st =
+    { cm = Mutex.create (); cready = Condition.create (); completions = Queue.create () }
+  in
+  let results = Array.make (max n 0) None in
+  (* The posted job computes and slots the result; ordinary exceptions
+     become the item's [Error] (delivered, then re-raised, by
+     [next_result]) rather than the job's failure, so one bad item
+     cannot poison the rest of the grid mid-flight.  [Worker_killed]
+     must keep escaping for the supervision machinery to retry the
+     item. *)
+  let g i =
+    match f i with
+    | v -> results.(i) <- Some (Ok v)
+    | exception Worker_killed -> raise Worker_killed
+    | exception e -> results.(i) <- Some (Error e)
+  in
+  if n > 0 then post ~api:"Pool.submit_stream" t g n chunk (Some st);
+  { pool = t; results; tn = max n 0; st; delivered = 0; closed = n <= 0 }
+
+(* Abort: drop every still-queued chunk (counting the dropped items as
+   completed), then wait out the in-flight ones — each signals [cready]
+   as it lands.  Undelivered results are discarded; the pool is ready
+   for the next job on return.  Idempotent, and a no-op after the
+   ticket drained naturally. *)
+let discard tk =
+  if not tk.closed then begin
+    let t = tk.pool in
+    let st = tk.st in
+    Array.iter
+      (fun lane ->
+        Mutex.lock lane.lm;
+        let dropped = ref 0 in
+        let draining = ref true in
+        while !draining do
+          match pop lane with
+          | Some (lo, hi) -> dropped := !dropped + (hi - lo)
+          | None -> draining := false
+        done;
+        Mutex.unlock lane.lm;
+        if !dropped > 0 then ignore (Atomic.fetch_and_add t.completed !dropped))
+      t.lanes;
+    Mutex.lock st.cm;
+    while Atomic.get t.completed < t.total do
+      Condition.wait st.cready st.cm
+    done;
+    Mutex.unlock st.cm;
+    release tk
+  end
+
+let next_result (tk : 'a ticket) : (int * 'a) option =
+  if tk.closed || tk.delivered >= tk.tn then None
+  else begin
+    let t = tk.pool in
+    let st = tk.st in
+    let main = t.lanes.(t.workers) in
+    let rec deliver () =
+      Mutex.lock st.cm;
+      let popped =
+        if Queue.is_empty st.completions then None else Some (Queue.pop st.completions)
+      in
+      Mutex.unlock st.cm;
+      match popped with
+      | Some i -> (
+        tk.delivered <- tk.delivered + 1;
+        (* Last delivery: every completion was pushed after its
+           counter increment, so popping the [tn]-th proves all lanes
+           are done with this job — safe to free the pool. *)
+        if tk.delivered >= tk.tn then release tk;
+        match tk.results.(i) with
+        | Some (Ok v) -> Some (i, v)
+        | Some (Error e) ->
+          (* A failed item ends the stream: drop the rest of the grid
+             so the pool is reusable, then surface the error exactly
+             like [run] would. *)
+          discard tk;
+          raise e
+        | None -> assert false)
+      | None -> (
+        (* Nothing completed yet — be a lane rather than a bystander.
+           Claim like [run], but execute a single item and push the
+           chunk remainder back (still stealable), so results flow to
+           the consumer at item granularity even when the main lane is
+           the only lane. *)
+        match get_work t main with
+        | Some (lo, hi) ->
+          if hi > lo + 1 then begin
+            Mutex.lock main.lm;
+            push_front main (lo + 1, hi);
+            Mutex.unlock main.lm
+          end;
+          (match t.job with
+          | Some g -> run_chunk t g main ~is_worker:false (lo, lo + 1)
+          | None -> ());
+          deliver ()
+        | None ->
+          (* Everything is in flight on other lanes: sleep until a
+             completion lands or an orphan is requeued onto the main
+             lane (both signal [cready]). *)
+          Mutex.lock st.cm;
+          while Queue.is_empty st.completions && Atomic.get main.queued = 0 do
+            Condition.wait st.cready st.cm
+          done;
+          Mutex.unlock st.cm;
+          deliver ())
+    in
+    deliver ()
+  end
+
+let drain tk =
+  let rec go () = match next_result tk with Some _ -> go () | None -> () in
+  go ();
+  if tk.delivered < tk.tn then
+    invalid_arg "Pool.drain: ticket was discarded before completion";
+  Array.init tk.tn (fun i ->
+      match tk.results.(i) with
+      | Some (Ok v) -> v
+      | Some (Error _) | None -> assert false)

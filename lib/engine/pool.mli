@@ -53,9 +53,11 @@ val workers : t -> int
     passed to {!create}. *)
 
 val max_chunk : int
-(** The scheduler's largest submit-time chunk (16).  [Faults.Campaign]
-    reuses it as its checkpoint/interrupt granularity so campaign
-    chunking and scheduler chunking are one policy. *)
+(** The scheduler's largest submit-time chunk (16), and the unit of
+    the submit-time wakeup budget: a default-chunked submit engages at
+    most [ceil (n / max_chunk)] lanes, so tiny batches stay on the
+    caller's lane instead of waking domains for less than a chunk's
+    worth of work. *)
 
 type stats = {
   lanes : int;  (** workers + the participating main lane *)
@@ -77,8 +79,50 @@ val stats : t -> stats
 val run : ?chunk:int -> t -> (int -> unit) -> int -> unit
 (** [run ?chunk t f n] evaluates [f i] for all [i < n].  [chunk]
     overrides the submit-time chunk size (default: [n] spread evenly
-    over the lanes, capped at {!max_chunk}); mainly for tests and
-    benchmarks that want to force queue traffic. *)
+    over the engaged lanes, capped at {!max_chunk}) and disables the
+    wakeup budget — the explicit-chunk deal covers every lane; mainly
+    for tests and benchmarks that want to force queue traffic. *)
+
+(** {1 Streaming submission (DESIGN §14)}
+
+    [submit_stream] posts a whole job without blocking and returns a
+    ticket; results are consumed out of order as lanes finish them.
+    One job (streaming or [run]) is in flight at a time — posting over
+    an undrained ticket raises [Invalid_argument]. *)
+
+type 'a ticket
+(** A streaming job in flight: [n] items, a result slot per index, and
+    a completion queue filled by the lanes.  Not thread-safe — only
+    the domain that called {!submit_stream} (the pool's main lane) may
+    consume it. *)
+
+val submit_stream : ?chunk:int -> t -> (int -> 'a) -> int -> 'a ticket
+(** [submit_stream t f n] deals items [0..n-1] across the lanes under
+    the same layout as {!run} (wakeup budget included) and returns
+    immediately.  An ordinary exception raised by [f i] is captured as
+    that item's result and re-raised by {!next_result} on delivery —
+    after discarding the remainder of the job — rather than recorded
+    as a pool-wide failure; {!Worker_killed} keeps its supervision
+    semantics (the item is retried, exactly-once delivery holds). *)
+
+val next_result : 'a ticket -> (int * 'a) option
+(** Deliver the next completed item as [(index, result)], in
+    completion order.  If nothing has completed, the calling domain
+    claims queued work itself — one item at a time, so delivery
+    granularity is a single item even with zero workers — and only
+    sleeps when every remaining item is in flight on another lane.
+    Returns [None] once all [n] items have been delivered (the pool is
+    then free for the next job) or after {!discard}. *)
+
+val drain : 'a ticket -> 'a array
+(** Deliver everything still outstanding and return all [n] results
+    assembled by index.  Raises the first item error it encounters,
+    like {!run}; raises [Invalid_argument] on a discarded ticket. *)
+
+val discard : 'a ticket -> unit
+(** Abort: drop every still-queued item, wait out the in-flight ones,
+    and free the pool for the next job.  Undelivered results are lost.
+    Idempotent; a no-op on a fully delivered ticket. *)
 
 val shutdown : t -> unit
 (** Join all workers.  Idempotent; the pool is unusable afterwards. *)

@@ -8,6 +8,13 @@ type t = {
   jobs : int;
   checkpoint : Checkpoint.t option;
   deadline : Telemetry.Cancel.t option;
+  (* Main-domain re-entrancy latch: true while a streaming job owns
+     the pool.  Work running *inside* the stream (a calibration nested
+     in a parallelised study, say) that calls back into this engine
+     must not try to post a second pool job — with the latch up,
+     nested batches and streams compute inline instead.  Only the main
+     domain reads or writes it. *)
+  mutable streaming : bool;
 }
 
 let default_cache_capacity = 4096
@@ -22,6 +29,7 @@ let create ?(jobs = 1) ?(cache = true) ?(cache_capacity = default_cache_capacity
     jobs;
     checkpoint;
     deadline = Option.map (fun s -> Telemetry.Cancel.with_deadline s) deadline_s;
+    streaming = false;
   }
 
 let jobs t = t.jobs
@@ -73,6 +81,7 @@ let monitor_gauges () =
       | Some c ->
         [
           ("engine_cache_entries", float_of_int (Cache.length c));
+          ("engine_cache_entries_peak", float_of_int (Cache.peak c));
           ("engine_cache_capacity", float_of_int (Cache.capacity c));
         ]
     in
@@ -109,6 +118,7 @@ let () = Telemetry.Monitor.register "engine" monitor_gauges
 
 let eval_counter = Telemetry.Counter.make "engine.evals"
 let batch_counter = Telemetry.Counter.make "engine.batches"
+let stream_counter = Telemetry.Counter.make "engine.streams"
 let denied_counter = Telemetry.Counter.make "engine.denied"
 let deadline_counter = Telemetry.Counter.make "engine.deadline.hit"
 
@@ -312,6 +322,11 @@ let eval_batch_inner ?token t ?account reqs =
     in
     (match t.backend with
     | Seq -> Array.iteri (fun j _ -> run_one j) misses
+    | Domains _ when t.streaming ->
+      (* A streaming job owns the pool (this batch is nested inside
+         one of its items, running on the main lane); compute inline
+         rather than posting a second job. *)
+      Array.iteri (fun j _ -> run_one j) misses
     | Domains pool -> Pool.run pool run_one (Array.length misses));
     (* Store pass in request order, after the barrier: cache state is a
        pure function of the request sequence, never of claim order. *)
@@ -362,6 +377,245 @@ let eval_batch_deadlined ?engine ?account ~deadline_s reqs =
   | ms -> Ok ms
   | exception e -> (
     match timed_out_guard tok deadline_s e with Some d -> Error d | None -> raise e)
+
+(* ---------------------------------------------------------- streaming
+   DESIGN §14: the whole request grid is handed to the scheduler at
+   once and results are consumed out of order as lanes finish them.
+   Cache and journal lookups short-circuit before anything is
+   enqueued; for every computed miss, checkpoint journaling (the
+   durability write) and cache publication happen on the main domain
+   at delivery time, in that order — workers only compute, so the
+   journal-before-publish contract of §11 holds with a single writer.
+   Delivery order is completion order (schedule-dependent); index
+   assembly is what restores determinism, exactly as with [Pool.run]'s
+   slot contract.  Measurement values and trial odometers are
+   schedule-independent; the one thing that becomes schedule-dependent
+   is the cache's LRU *recency* order for the streamed misses, which
+   affects future hit latency only, never a value. *)
+
+type stream = {
+  s_n : int;
+  (* Per-stream deadline token; [None] on plain [eval_stream], where
+     an engine-wide deadline still cancels computes but surfaces as
+     the raw cancellation exception, exactly like [eval_batch]. *)
+  s_tok : Telemetry.Cancel.t option;
+  s_deadline_s : float option;
+  mutable s_hits : (int * Metrics.Spec.measurement) list;  (* request order *)
+  s_out : Metrics.Spec.measurement option array;  (* every delivery, by index *)
+  s_next_miss : unit -> (int * Metrics.Spec.measurement) option;
+  s_on_stop : unit -> unit;  (* release pool / re-entrancy latch; idempotent *)
+  mutable s_stopped : bool;
+  mutable s_aborted : bool;  (* stopped early: drain would be partial *)
+  mutable s_dead : denial option;  (* sticky after a deadline denial *)
+}
+
+let stream_length s = s.s_n
+
+let eval_stream_inner ?token ?deadline_s (t : t) ?account reqs =
+  let token = match token with Some _ as tk -> tk | None -> t.deadline in
+  Telemetry.Counter.incr stream_counter;
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  let mk ?(hits = []) ?(on_stop = ignore) next_miss =
+    {
+      s_n = n;
+      s_tok = (if deadline_s = None then None else token);
+      s_deadline_s = deadline_s;
+      s_hits = hits;
+      s_out = Array.make n None;
+      s_next_miss = next_miss;
+      s_on_stop = on_stop;
+      s_stopped = false;
+      s_aborted = false;
+      s_dead = None;
+    }
+  in
+  if not (on_main ()) || t.streaming then begin
+    (* Off the main domain, or nested inside another stream on this
+       engine: degrade to a lazy sequential cursor in index order.
+       [eval_value] keeps the cache/journal semantics right for either
+       situation. *)
+    let cursor = ref 0 in
+    mk (fun () ->
+        if !cursor >= n then None
+        else begin
+          let i = !cursor in
+          incr cursor;
+          let value = eval_value ?token t arr.(i) in
+          charge account value;
+          Some (i, value.Cache.measurement)
+        end)
+  end
+  else begin
+    let results : Cache.value option array = Array.make n None in
+    let keys = Array.map Request.cache_key arr in
+    (* Cache pass in request order, then journal pass — identical
+       short-circuit order to [eval_batch_inner], and journal hits are
+       published to the cache here, before anything streams. *)
+    (match t.cache with
+    | None -> ()
+    | Some cache ->
+      Array.iteri
+        (fun i key ->
+          match key with
+          | None -> ()
+          | Some key -> (
+            match Cache.find cache key with
+            | Some value -> results.(i) <- Some (replay value)
+            | None -> ()))
+        keys);
+    (match t.checkpoint with
+    | None -> ()
+    | Some cp ->
+      Array.iteri
+        (fun i key ->
+          match key with
+          | None -> ()
+          | Some key ->
+            if results.(i) = None then (
+              match Checkpoint.find cp key with
+              | Some value ->
+                let value = replay value in
+                (match t.cache with Some c -> Cache.add c key value | None -> ());
+                results.(i) <- Some value
+              | None -> ()))
+        keys);
+    let hits = ref [] in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some value ->
+          charge account value;
+          hits := (i, value.Cache.measurement) :: !hits
+        | None -> ())
+      results;
+    let hits = List.rev !hits in
+    let misses =
+      Array.of_list (List.filter (fun i -> results.(i) = None) (List.init n (fun i -> i)))
+    in
+    let m = Array.length misses in
+    (* Journal-before-publish, on the main domain, per completion. *)
+    let publish i (value : Cache.value) =
+      (match keys.(i) with Some key -> checkpoint_record t key value | None -> ());
+      (match t.cache, keys.(i) with
+      | Some cache, Some key -> Cache.add cache key value
+      | _ -> ());
+      charge account value;
+      (i, value.Cache.measurement)
+    in
+    match t.backend with
+    | Seq ->
+      (* One lane: misses compute lazily, one per pull, in index
+         order — an interrupted consumer pays only for what it
+         pulled. *)
+      let cursor = ref 0 in
+      mk ~hits (fun () ->
+          if !cursor >= m then None
+          else begin
+            let i = misses.(!cursor) in
+            incr cursor;
+            Some (publish i (compute_tok ~token arr.(i)))
+          end)
+    | Domains pool ->
+      (* Hand the scheduler the whole miss grid now; consume
+         completions out of order.  Workers run [compute_tok] only —
+         journaling and cache publication wait for delivery here on
+         the main domain. *)
+      t.streaming <- true;
+      let ticket =
+        try Pool.submit_stream pool (fun j -> compute_tok ~token arr.(misses.(j))) m
+        with e ->
+          t.streaming <- false;
+          raise e
+      in
+      mk ~hits
+        ~on_stop:(fun () ->
+          Pool.discard ticket;
+          t.streaming <- false)
+        (fun () ->
+          match Pool.next_result ticket with
+          | None -> None
+          | Some (j, value) -> Some (publish misses.(j) value))
+  end
+
+let stream_stop ~aborted s =
+  if not s.s_stopped then begin
+    s.s_stopped <- true;
+    s.s_aborted <- aborted;
+    s.s_on_stop ()
+  end
+
+let stream_abort s = if s.s_dead = None then stream_stop ~aborted:true s
+
+let stream_next s =
+  match s.s_dead with
+  | Some d -> Error d
+  | None ->
+    if s.s_stopped then Ok None
+    else (
+      match s.s_hits with
+      | ((i, measurement) as hit) :: rest ->
+        s.s_hits <- rest;
+        s.s_out.(i) <- Some measurement;
+        Ok (Some hit)
+      | [] -> (
+        match s.s_next_miss () with
+        | Some (i, measurement) ->
+          s.s_out.(i) <- Some measurement;
+          Ok (Some (i, measurement))
+        | None ->
+          stream_stop ~aborted:false s;
+          Ok None
+        | exception e -> (
+          stream_stop ~aborted:true s;
+          match s.s_tok, s.s_deadline_s with
+          | Some tok, Some deadline_s -> (
+            match timed_out_guard tok deadline_s e with
+            | Some d ->
+              s.s_dead <- Some d;
+              Error d
+            | None -> raise e)
+          | _ -> raise e)))
+
+let stream_drain s =
+  if s.s_aborted then invalid_arg "Service.stream_drain: stream was aborted";
+  let rec go () =
+    match stream_next s with
+    | Ok (Some _) -> go ()
+    | Ok None -> Ok (List.map Option.get (Array.to_list s.s_out))
+    | Error d -> Error d
+  in
+  go ()
+
+let eval_stream ?engine ?account reqs = eval_stream_inner (resolve engine) ?account reqs
+
+let eval_stream_deadlined ?engine ?account ~deadline_s reqs =
+  let tok = Telemetry.Cancel.with_deadline deadline_s in
+  eval_stream_inner ~token:tok ~deadline_s (resolve engine) ?account reqs
+
+(* Generic job-level streaming for fan-outs that are not [Request]
+   evaluations (a lot's die calibrations, an attack's trial set): run
+   [f] over [0..n-1] on the pool, out of order, and assemble by index.
+   [f] may call back into this engine — on the main lane such calls
+   compute inline behind the re-entrancy latch; on worker lanes they
+   take the usual off-main (checkpoint + inline compute) path. *)
+let map_jobs ?engine f n =
+  let t = resolve engine in
+  if n <= 0 then []
+  else
+    match t.backend with
+    | Domains pool when on_main () && not t.streaming ->
+      t.streaming <- true;
+      Fun.protect
+        ~finally:(fun () -> t.streaming <- false)
+        (fun () ->
+          let ticket = Pool.submit_stream pool f n in
+          match Pool.drain ticket with
+          | results -> Array.to_list results
+          | exception e ->
+            Pool.discard ticket;
+            raise e)
+    | _ -> List.init n f
 
 let eval_guarded ?engine ?deadline_s ~account req =
   if Account.exhausted account then begin

@@ -125,6 +125,68 @@ val eval_batch_deadlined :
     that completed before the deadline are already journalled (and
     cached), so a resumed batch does not repeat them. *)
 
+(** {1 Streaming evaluation (DESIGN §14)}
+
+    [eval_stream] hands the scheduler the whole request grid at once
+    and returns a stream; {!stream_next} delivers [(index, measurement)]
+    pairs as lanes finish them, out of order, so a straggler no longer
+    gates the rest of the grid.  Cache and journal hits short-circuit
+    before anything is enqueued (and are delivered first, in request
+    order); for each computed miss, checkpoint journaling and cache
+    publication happen on the main domain at delivery time, preserving
+    journal-before-publish with a single writer.  Reassembling by index
+    ({!stream_drain}) is bit-identical to {!eval_batch} on the same
+    requests, for any lane count.
+
+    One stream owns the engine's pool at a time: evaluations issued
+    from inside the stream's own items (nested calibrations, &c.)
+    transparently compute inline, and a second concurrent stream on
+    the same engine degrades to a lazy sequential cursor.  A stream
+    must be consumed on the domain that opened it, and either drained
+    to [Ok None] / an [Error] or explicitly {!stream_abort}ed —
+    abandoning it leaves the pool occupied. *)
+
+type stream
+
+val eval_stream : ?engine:t -> ?account:Account.t -> Request.t list -> stream
+(** Submit the grid and return immediately.  Under an engine-wide
+    deadline, a cancellation surfaces from {!stream_next} as the raw
+    exception, exactly as {!eval_batch} would. *)
+
+val eval_stream_deadlined :
+  ?engine:t -> ?account:Account.t -> deadline_s:float -> Request.t list -> stream
+(** Like {!eval_stream} under one shared per-stream deadline: once it
+    fires, {!stream_next} aborts the remaining work and returns
+    (stickily) [Error (Timed_out _)].  Completions delivered before the
+    deadline are already journalled and cached. *)
+
+val stream_next : stream -> ((int * Metrics.Spec.measurement) option, denial) result
+(** Next completed evaluation, or [Ok None] once all have been
+    delivered (or after {!stream_abort}).  Blocks only when every
+    remaining item is in flight on a worker lane; with no workers the
+    calling domain computes one item per pull, in index order. *)
+
+val stream_drain : stream -> (Metrics.Spec.measurement list, denial) result
+(** Consume to the end and return all measurements in request order —
+    including ones already delivered through {!stream_next}.  Raises
+    [Invalid_argument] on an aborted stream. *)
+
+val stream_abort : stream -> unit
+(** Drop undelivered work (in-flight items finish and are journalled;
+    queued ones are discarded) and release the pool.  Idempotent. *)
+
+val stream_length : stream -> int
+(** Number of requests the stream was opened with. *)
+
+val map_jobs : ?engine:t -> (int -> 'a) -> int -> 'a list
+(** [map_jobs f n] runs [f i] for [i < n] on the engine's lanes as one
+    streamed job and returns the results in index order — job-level
+    streaming for fan-outs that are not request evaluations (die
+    calibrations, attack trials).  [f] may call back into the engine:
+    on the main lane such calls compute inline; on worker lanes they
+    take the usual off-main path.  Sequential engines (and nested
+    calls) run [List.init n f]. *)
+
 val eval_guarded :
   ?engine:t ->
   ?deadline_s:float ->

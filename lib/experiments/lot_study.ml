@@ -58,7 +58,12 @@ let pairs xs =
 
 let run ?(lot = 8) ?(seed_base = 6000) standard =
   if lot < 2 then invalid_arg "Lot_study.run: lot too small";
-  let dice = List.init lot (fun i -> calibrate_die standard (seed_base + i)) in
+  (* Die calibrations are independent full 14-step runs — the lot's
+     widest fan-out.  Stream them across the engine's lanes as one
+     job-level grid; index assembly keeps the lot in seed order, and
+     each calibration's own engine calls take the inline
+     (main-lane) or off-main (worker-lane) path automatically. *)
+  let dice = Engine.Service.map_jobs (fun i -> calibrate_die standard (seed_base + i)) lot in
   let in_spec = List.filter (fun d -> d.in_spec) dice in
   let median = median_key dice in
   (* Lot-median yield and the off-diagonal transfer matrix are both

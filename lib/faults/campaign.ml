@@ -94,68 +94,61 @@ let demos_counter = Telemetry.Counter.make "faults.demos"
 exception Deadline
 exception Halt of string
 
-(* Fixed chunk size, independent of --jobs: checkpoint granularity and
-   the injected-interrupt cut points are properties of the campaign,
-   not of the backend that happens to run it.  The constant is the
-   scheduler's own maximum submit-time chunk ([Engine.Pool.max_chunk]),
-   so one policy governs both how the campaign cuts its checkpoint
-   boundaries and how the pool deals work across lanes — a 16-cell
-   campaign batch is exactly one scheduler chunk's worth of items,
-   spread over the lanes by the chunked round-robin inside the pool. *)
-let chunk_size = Engine.Pool.max_chunk
-
-let split_at n xs =
-  let rec go k acc = function
-    | rest when k = 0 -> (List.rev acc, rest)
-    | [] -> (List.rev acc, [])
-    | x :: rest -> go (k - 1) (x :: acc) rest
+(* Evaluate a request list by handing the scheduler the whole grid at
+   once (DESIGN §14) and consuming completions out of order as lanes
+   finish them — there is no per-chunk submit barrier any more.  Every
+   delivered completion is already journalled (on the main domain,
+   before cache publication) and counts into [completed]; the campaign
+   deadline and the injected interrupt are both checked before every
+   pull, so [completed] is exact — to the cell — when either fires.
+   [interrupt_after] halts at precisely that many completed cells, the
+   deterministic stand-in for a SIGINT; assembly by index restores
+   request order bit-identically to the old chunked evaluation. *)
+let eval_streamed ?engine ~tok ~completed ~total ~interrupt_after reqs =
+  let halt_check () =
+    match interrupt_after with
+    | Some k when !completed >= k -> raise (Halt "interrupt (injected)")
+    | _ -> ()
   in
-  go n [] xs
-
-(* Evaluate a request list through the engine in chunks.  Every chunk
-   that returns is durable (each evaluation journals itself) and counts
-   into [completed]; the campaign deadline and the injected interrupt
-   both land on chunk boundaries, so [completed] is exact when either
-   fires.  [interrupt_after] shrinks a chunk to cut at precisely that
-   many completed cells — the deterministic stand-in for a SIGINT. *)
-let eval_chunked ?engine ~tok ~completed ~total ~interrupt_after reqs =
-  let rec go acc reqs =
-    match reqs with
-    | [] -> List.concat (List.rev acc)
-    | reqs ->
-      (match interrupt_after with
-      | Some k when !completed >= k -> raise (Halt "interrupt (injected)")
-      | _ -> ());
+  halt_check ();
+  Telemetry.Cancel.poll ();
+  let n = List.length reqs in
+  let stream =
+    match tok with
+    | None -> Engine.Service.eval_stream ?engine reqs
+    | Some tk ->
+      let remaining =
+        match Telemetry.Cancel.remaining_s tk with Some r -> r | None -> infinity
+      in
+      if remaining <= 0.0 then raise Deadline;
+      Engine.Service.eval_stream_deadlined ?engine ~deadline_s:remaining reqs
+  in
+  (* Whatever stops the consumption loop — the injected halt, a
+     deadline, a SIGINT cancellation — releases the scheduler before
+     propagating, so the partial-report paths above us never leave the
+     pool occupied. *)
+  Fun.protect ~finally:(fun () -> Engine.Service.stream_abort stream) @@ fun () ->
+  let rec pull delivered =
+    if delivered < n then begin
+      halt_check ();
       Telemetry.Cancel.poll ();
-      let n =
-        match interrupt_after with
-        | Some k when k > !completed -> min chunk_size (k - !completed)
-        | _ -> chunk_size
-      in
-      let batch, rest = split_at n reqs in
-      let ms =
-        match tok with
-        | None -> Engine.Service.eval_batch ?engine batch
-        | Some tok -> (
-          let remaining =
-            match Telemetry.Cancel.remaining_s tok with
-            | Some r -> r
-            | None -> infinity
-          in
-          if remaining <= 0.0 then raise Deadline;
-          match Engine.Service.eval_batch_deadlined ?engine ~deadline_s:remaining batch with
-          | Ok ms -> ms
-          | Error (Engine.Service.Timed_out _) -> raise Deadline
-          | Error (Engine.Service.Budget_exhausted _) ->
-            assert false (* no account is attached to campaign batches *))
-      in
-      completed := !completed + List.length batch;
-      (* Live monitoring: progress lands on the same chunk boundaries
-         that make [completed] exact for deadline/interrupt reports. *)
-      Telemetry.Monitor.set_progress ~completed:!completed ~total:(max !total !completed);
-      go (ms :: acc) rest
+      match Engine.Service.stream_next stream with
+      | Ok (Some _) ->
+        incr completed;
+        (* Live monitoring: progress now lands per completed cell, not
+           per 16-cell chunk. *)
+        Telemetry.Monitor.set_progress ~completed:!completed ~total:(max !total !completed);
+        pull (delivered + 1)
+      | Ok None -> ()
+      | Error (Engine.Service.Timed_out _) -> raise Deadline
+      | Error (Engine.Service.Budget_exhausted _) ->
+        assert false (* no account is attached to campaign grids *)
+    end
   in
-  go [] reqs
+  pull 0;
+  match Engine.Service.stream_drain stream with
+  | Ok ms -> ms
+  | Error _ -> assert false (* fully delivered above *)
 
 let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
   if dies < 1 then Error (Error.Empty_sweep { what = "dies" })
@@ -195,7 +188,7 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
         completed_cells = !completed;
       }
     in
-    let eval_chunked reqs = eval_chunked ?engine ~tok ~completed ~total ~interrupt_after reqs in
+    let eval_streamed reqs = eval_streamed ?engine ~tok ~completed ~total ~interrupt_after reqs in
     Telemetry.Log.info
       ~fields:
         [
@@ -252,7 +245,7 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
       total := List.length cell_points + Rfchain.Config.key_bits;
       Telemetry.Monitor.set_progress ~completed:!completed ~total:!total;
       let cell_snrs =
-        eval_chunked
+        eval_streamed
           (List.map
              (fun (_, _, _, faults, chip, key) ->
                Engine.Request.make ~die:(Inject.die chip faults) ~standard ~config:key
@@ -285,7 +278,7 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
       in
       let bits = List.init Rfchain.Config.key_bits (fun bit -> bit) in
       let probe_snrs =
-        eval_chunked
+        eval_streamed
           (List.map
              (fun bit ->
                Telemetry.Counter.incr flip_probes_counter;
@@ -301,7 +294,7 @@ let run ?(dies = 3) ?(seed = 42) ?engine ?deadline_s ?interrupt_after standard =
       total := !total + List.length survivor_bits;
       Telemetry.Monitor.set_progress ~completed:!completed ~total:!total;
       let survivor_checks =
-        eval_chunked
+        eval_streamed
           (List.map
              (fun (bit, _) ->
                Engine.Request.make ~die:die0 ~standard ~config:(corrupted_of bit)

@@ -57,10 +57,6 @@ type t = {
 val mechanism_names : string list
 (** The sweep grid's mechanisms, in report order. *)
 
-val chunk_size : int
-(** Cells per engine batch — the checkpoint / interrupt granularity.
-    Fixed, independent of [--jobs], so cut points are deterministic. *)
-
 val run :
   ?dies:int ->
   ?seed:int ->

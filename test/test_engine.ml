@@ -76,6 +76,25 @@ let test_lru_eviction () =
   Alcotest.(check int) "recent entry still hits" (hit0 + 1) (counter "engine.cache.hit");
   Engine.Service.shutdown engine
 
+let test_cache_peak () =
+  let cache = Engine.Cache.create ~capacity:2 in
+  let v =
+    {
+      Engine.Cache.measurement = { Metrics.Spec.snr_mod_db = 1.0; snr_rx_db = 2.0; sfdr_db = None };
+      trial_cost = 1;
+    }
+  in
+  Alcotest.(check int) "fresh cache has peak 0" 0 (Engine.Cache.peak cache);
+  Engine.Cache.add cache "a" v;
+  Engine.Cache.add cache "b" v;
+  Engine.Cache.add cache "c" v;
+  (* Eviction keeps occupancy at capacity: the high-water mark proves
+     the bound actually bit, it never exceeds it. *)
+  Alcotest.(check int) "peak saturates at capacity" 2 (Engine.Cache.peak cache);
+  Alcotest.(check int) "live occupancy equals capacity" 2 (Engine.Cache.length cache);
+  Engine.Cache.add cache "a" v;
+  Alcotest.(check int) "refreshing an entry leaves the peak alone" 2 (Engine.Cache.peak cache)
+
 (* -------------------------------------------------------------- batch *)
 
 let test_batch_order () =
@@ -291,6 +310,152 @@ let test_pool_respawn_mid_chunk () =
   Alcotest.(check bool) "pool usable after the mid-chunk respawn" true
     (Array.for_all (fun v -> v > 0) out);
   Engine.Pool.shutdown pool
+
+(* ------------------------------------------------------------- stream *)
+
+(* Out-of-order delivery: item 0 blocks until item 1 (on the other
+   lane) has run, then sleeps long enough for item 1's completion to be
+   queued first.  Whichever lane ends up with which item — deal, steal
+   or claim — item 1's completion strictly precedes item 0's, so the
+   first delivery must be index 1.  That is the barrier's absence made
+   observable: under the old per-chunk submit, nothing was delivered
+   until the whole batch joined. *)
+let test_pool_stream_out_of_order () =
+  let pool = Engine.Pool.create ~eager:true 1 in
+  let gate = Atomic.make false in
+  let ticket =
+    Engine.Pool.submit_stream ~chunk:1 pool
+      (fun i ->
+        if i = 0 then begin
+          while not (Atomic.get gate) do
+            Domain.cpu_relax ()
+          done;
+          (* Yield the core so the lane that ran item 1 certainly gets
+             to push its completion before item 0's lands behind it. *)
+          Unix.sleepf 0.05
+        end
+        else Atomic.set gate true;
+        i * 10)
+      2
+  in
+  (match Engine.Pool.next_result ticket with
+  | Some (i, v) ->
+    Alcotest.(check int) "item 1 is delivered first (out of order)" 1 i;
+    Alcotest.(check int) "its result rides along" 10 v
+  | None -> Alcotest.fail "a completed item must be deliverable");
+  (match Engine.Pool.next_result ticket with
+  | Some (i, v) ->
+    Alcotest.(check int) "the gated item arrives second" 0 i;
+    Alcotest.(check int) "gated item's result" 0 v
+  | None -> Alcotest.fail "the gated item must still be delivered");
+  Alcotest.(check bool) "delivery ends with None" true (Engine.Pool.next_result ticket = None);
+  let out = Array.make 8 0 in
+  Engine.Pool.run pool (fun i -> out.(i) <- i + 1) 8;
+  Alcotest.(check bool) "pool free for an ordinary run after the stream" true
+    (Array.for_all (fun v -> v > 0) out);
+  Engine.Pool.shutdown pool
+
+let test_pool_stream_discard () =
+  let pool = Engine.Pool.create 1 in
+  let ran = Array.make 64 0 in
+  let ticket = Engine.Pool.submit_stream pool (fun i -> ran.(i) <- 1) 64 in
+  (match Engine.Pool.next_result ticket with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected at least one delivery before the discard");
+  (* A second job over an undrained ticket must be refused... *)
+  (match Engine.Pool.run pool ignore 4 with
+  | () -> Alcotest.fail "posting over an in-flight stream must be refused"
+  | exception Invalid_argument _ -> ());
+  Engine.Pool.discard ticket;
+  Alcotest.(check bool) "discarded ticket delivers nothing" true
+    (Engine.Pool.next_result ticket = None);
+  (match Engine.Pool.drain ticket with
+  | _ -> Alcotest.fail "draining a discarded ticket must be refused"
+  | exception Invalid_argument _ -> ());
+  (* ... and after the discard the pool is free again. *)
+  let out = Array.make 8 0 in
+  Engine.Pool.run pool (fun i -> out.(i) <- i + 1) 8;
+  Alcotest.(check bool) "pool reusable after the discard" true
+    (Array.for_all (fun v -> v > 0) out);
+  Engine.Pool.shutdown pool
+
+(* The tentpole equivalence: a drained stream is bit-identical to the
+   batch API on the same requests, at every lane count the CLI
+   exposes, out-of-order completion and all. *)
+let prop_stream_equals_batch =
+  QCheck.Test.make ~name:"eval_stream reassembled by index = eval_batch at jobs 1/4/8"
+    ~count:4
+    QCheck.(list_of_size (Gen.int_range 1 6) (int_range 0 63))
+    (fun flipped_bits ->
+      let reqs = List.map (fun bit -> request (config_of_bit bit)) flipped_bits in
+      List.for_all
+        (fun engine ->
+          let engine = Lazy.force engine in
+          let batch = Engine.Service.eval_batch ~engine reqs in
+          match Engine.Service.stream_drain (Engine.Service.eval_stream ~engine reqs) with
+          | Ok ms -> List.for_all2 same_measurement batch ms
+          | Error _ -> QCheck.Test.fail_report "stream without a deadline was denied")
+        [ seq_engine; pool_engine4; pool_engine8 ])
+
+(* Cache hits short-circuit before anything reaches the scheduler and
+   are delivered first, in request order, at replayed cost. *)
+let test_stream_hits_first () =
+  let engine = Engine.Service.create () in
+  let ra = request (config_of_bit 33) in
+  let rb = request (config_of_bit 34) in
+  let cached = Engine.Service.eval ~engine rb in
+  let steps0 = counter "sdm.steps" in
+  let stream = Engine.Service.eval_stream ~engine [ ra; rb ] in
+  (match Engine.Service.stream_next stream with
+  | Ok (Some (i, m)) ->
+    Alcotest.(check int) "the cache hit is delivered first" 1 i;
+    Alcotest.(check bool) "hit is bit-identical" true (same_measurement cached m);
+    Alcotest.(check int) "hit delivery ran zero simulator steps" steps0 (counter "sdm.steps")
+  | _ -> Alcotest.fail "expected the hit as the first delivery");
+  (match Engine.Service.stream_drain stream with
+  | Ok ms ->
+    Alcotest.(check int) "drain returns the full grid in request order" 2 (List.length ms)
+  | Error _ -> Alcotest.fail "drain must succeed");
+  Engine.Service.shutdown engine
+
+let test_stream_abort_reusable () =
+  let engine = Lazy.force pool_engine4 in
+  let reqs = List.map (fun bit -> request (config_of_bit bit)) [ 45; 46; 47; 48; 49 ] in
+  let stream = Engine.Service.eval_stream ~engine reqs in
+  (match Engine.Service.stream_next stream with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "expected one delivery before the abort");
+  Engine.Service.stream_abort stream;
+  Alcotest.(check bool) "an aborted stream is at its end" true
+    (Engine.Service.stream_next stream = Ok None);
+  (match Engine.Service.stream_drain stream with
+  | _ -> Alcotest.fail "draining an aborted stream must be refused"
+  | exception Invalid_argument _ -> ());
+  (* The pool was released: the next batch on the same engine agrees
+     with the sequential backend. *)
+  let par = Engine.Service.eval_batch ~engine reqs in
+  let seq = Engine.Service.eval_batch ~engine:(Lazy.force seq_engine) reqs in
+  Alcotest.(check bool) "engine fully usable after an aborted stream" true
+    (List.for_all2 same_measurement seq par)
+
+(* Job-level streaming with re-entrant engine calls: each job runs a
+   nested eval_batch on the same engine — inline on the main lane (the
+   streaming latch), off-main on worker lanes — and the assembled
+   results match the sequential backend. *)
+let test_map_jobs_nested () =
+  let engine = Lazy.force pool_engine4 in
+  let reqs = Array.of_list (List.map (fun bit -> request (config_of_bit bit)) [ 52; 53; 54 ]) in
+  let via_jobs =
+    Engine.Service.map_jobs ~engine
+      (fun i -> List.hd (Engine.Service.eval_batch ~engine [ reqs.(i) ]))
+      (Array.length reqs)
+  in
+  let direct =
+    List.map (fun r -> Engine.Service.eval ~engine:(Lazy.force seq_engine) r) (Array.to_list reqs)
+  in
+  Alcotest.(check int) "one result per job" (Array.length reqs) (List.length via_jobs);
+  Alcotest.(check bool) "nested-eval jobs assemble in index order, bit-identical" true
+    (List.for_all2 same_measurement direct via_jobs)
 
 (* ----------------------------------------------------------- deadline *)
 
@@ -521,6 +686,7 @@ let () =
         [
           Alcotest.test_case "hit is free and identical" `Quick test_cache_hit;
           Alcotest.test_case "LRU evicts at capacity" `Quick test_lru_eviction;
+          Alcotest.test_case "peak gauge tracks the high-water mark" `Quick test_cache_peak;
         ] );
       ( "batch",
         [ Alcotest.test_case "order preservation" `Quick test_batch_order ]
@@ -538,6 +704,17 @@ let () =
           Alcotest.test_case "respawn mid-chunk requeues the remainder" `Quick
             test_pool_respawn_mid_chunk;
         ] );
+      ( "stream",
+        [
+          Alcotest.test_case "out-of-order delivery, no submit barrier" `Quick
+            test_pool_stream_out_of_order;
+          Alcotest.test_case "discard frees the pool, double-post refused" `Quick
+            test_pool_stream_discard;
+          Alcotest.test_case "cache hits are delivered first" `Quick test_stream_hits_first;
+          Alcotest.test_case "abort releases the engine" `Quick test_stream_abort_reusable;
+          Alcotest.test_case "map_jobs with nested engine calls" `Quick test_map_jobs_nested;
+        ]
+        @ qcheck [ prop_stream_equals_batch ] );
       ( "deadline",
         [
           Alcotest.test_case "eval_deadlined times out and completes" `Quick

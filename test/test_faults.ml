@@ -266,6 +266,54 @@ let prop_resume_determinism =
       Sys.remove path;
       fresh = resumed)
 
+(* Same contract under the streaming scheduler with worker lanes: the
+   interrupted leg runs on a jobs-4 engine, so the whole cell grid is
+   in flight when the interrupt fires mid-stream, and the report must
+   still cut at exactly k delivered cells and resume byte-identically
+   (workers may journal a few cells beyond k — resume replays them,
+   the bytes cannot tell). *)
+let prop_resume_determinism_jobs4 =
+  let ok_cp = function
+    | Ok cp -> cp
+    | Error c -> QCheck.Test.fail_report (Engine.Checkpoint.corruption_to_string c)
+  in
+  QCheck.Test.make
+    ~name:"interrupt mid-stream under jobs 4 then resume = uninterrupted, byte for byte"
+    ~count:1
+    QCheck.(pair (int_range 1 50) (int_range 42 43))
+    (fun (k, seed) ->
+      let fresh =
+        match Faults.Campaign.run ~dies:1 ~seed std with
+        | Ok t -> Faults.Report.json_lines t
+        | Error e -> QCheck.Test.fail_report (Faults.Error.to_string e)
+      in
+      let path = Filename.temp_file "campaign" ".jsonl" in
+      let cp = ok_cp (Engine.Checkpoint.load ~resume:false path) in
+      let engine = Engine.Service.create ~jobs:4 ~checkpoint:cp () in
+      (match Faults.Campaign.run ~dies:1 ~seed ~engine ~interrupt_after:k std with
+      | Ok t ->
+        if Faults.Campaign.complete t then
+          QCheck.Test.fail_report "interrupt_after did not interrupt";
+        if t.Faults.Campaign.completed_cells <> k then
+          QCheck.Test.fail_reportf "stopped after %d cells, wanted %d"
+            t.Faults.Campaign.completed_cells k
+      | Error e ->
+        QCheck.Test.fail_report ("interrupted run errored: " ^ Faults.Error.to_string e));
+      Engine.Checkpoint.close cp;
+      Engine.Service.shutdown engine;
+      let cp = ok_cp (Engine.Checkpoint.load ~resume:true path) in
+      let engine = Engine.Service.create ~jobs:4 ~checkpoint:cp () in
+      let resumed =
+        match Faults.Campaign.run ~dies:1 ~seed ~engine std with
+        | Ok t -> Faults.Report.json_lines t
+        | Error e ->
+          QCheck.Test.fail_report ("resumed run errored: " ^ Faults.Error.to_string e)
+      in
+      Engine.Checkpoint.close cp;
+      Engine.Service.shutdown engine;
+      Sys.remove path;
+      fresh = resumed)
+
 (* ------------------------------------------------------------------ JSON *)
 
 let test_json_rendering () =
@@ -325,5 +373,5 @@ let () =
             test_error_examples_roundtrip;
           Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
         ] );
-      ("resume", qcheck [ prop_resume_determinism ]);
+      ("resume", qcheck [ prop_resume_determinism; prop_resume_determinism_jobs4 ]);
     ]
