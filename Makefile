@@ -1,4 +1,4 @@
-.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke sched-smoke resume-smoke monitor-smoke bench-json bench-json-fast bench-gate ci clean
+.PHONY: all build test faults-smoke profile-smoke telemetry-smoke engine-smoke sched-smoke resume-smoke monitor-smoke cli-smoke alloc-smoke bench-json bench-json-fast bench-gate ci clean
 
 all: build
 
@@ -123,6 +123,30 @@ monitor-smoke: build
 	grep -q '"engine_hash":"[0-9a-f]' /tmp/monitor-manifest.json
 	grep -q 'heartbeat' /tmp/monitor-smoke.err
 
+# CLI error paths must fail fast with the documented status.  Run
+# under timeout so a reintroduced keep-alive (module-load domain,
+# at_exit hook) turns into a visible kill, and require exit 2 for
+# parse errors — NOT cmdliner's default 124, which collides with
+# timeout(1)'s kill status and made parse errors read as hangs
+# (ROADMAP: "CLI parse-error hang").
+cli-smoke: build
+	timeout 10 ./_build/default/bin/repro.exe nosuchcmd > /dev/null 2>&1; test $$? -eq 2
+	timeout 10 ./_build/default/bin/repro.exe fig7 --no-such-flag > /dev/null 2>&1; test $$? -eq 2
+	timeout 10 ./_build/default/bin/repro.exe --help > /dev/null 2>&1; test $$? -eq 0
+
+# Steady-state allocation contract (DESIGN §15): the arena-converted
+# kernels carry absolute minor-words budgets (lib/benchkit alloc
+# budgets) checked by the bench harness itself — a reintroduced
+# per-stage copy of even one record buffer fails the run with exit 4.
+# Budgets are baseline-free; the --compare leg additionally holds the
+# converted kernels to the tightened slack against BENCH_4.json.
+alloc-smoke: build
+	./_build/default/bench/main.exe --quick --fast --only engine: \
+	  --json --out /tmp/alloc-smoke.json --compare BENCH_4.json \
+	  > /tmp/alloc-smoke.out 2>&1 || { cat /tmp/alloc-smoke.out; exit 1; }
+	grep -q 'budgets: PASS' /tmp/alloc-smoke.out
+	grep -q 'gate: PASS' /tmp/alloc-smoke.out
+
 # Perf trajectory: re-measure the Bechamel kernels and rewrite
 # BENCH_4.json (full quota; commit the result).  The -fast variant is
 # what CI runs on every push — shorter quota, same JSON schema.
@@ -139,7 +163,7 @@ bench-gate:
 	dune exec bench/main.exe -- --quick --fast --json \
 	  --out /tmp/bench-gate.json --compare BENCH_4.json
 
-ci: build test faults-smoke profile-smoke telemetry-smoke engine-smoke sched-smoke resume-smoke monitor-smoke bench-gate
+ci: build test cli-smoke faults-smoke profile-smoke telemetry-smoke engine-smoke sched-smoke resume-smoke monitor-smoke alloc-smoke bench-gate
 
 clean:
 	dune clean

@@ -384,6 +384,30 @@ let run_benchmarks ~fast ~json ~out ~compare_to ~only () =
   (match compare_to with
   | None -> ()
   | Some baseline_path -> compare_against ~baseline_path ~require_all:(only = None) results);
+  (* Absolute allocation budgets (make alloc-smoke): unlike the
+     baseline gate these are baseline-free, so a regenerated
+     BENCH_4.json cannot quietly ratchet a reintroduced per-stage
+     copy into the committed "normal". *)
+  let budgeted =
+    Benchkit.Bench_json.check_budgets
+      (List.map
+         (fun (name, ns, mwd) ->
+           { Benchkit.Bench_json.name; ns_per_run = ns; minor_words_per_run = mwd })
+         results)
+  in
+  if budgeted <> [] then begin
+    let bad = Benchkit.Bench_json.regressions budgeted in
+    Printf.printf "\n## Allocation budgets (arena-converted kernels)\n";
+    List.iter
+      (fun c -> Printf.printf "  %s\n" (Benchkit.Bench_json.verdict_to_string c))
+      (if bad = [] then budgeted else bad);
+    if bad = [] then Printf.printf "  budgets: PASS (%d kernels)\n" (List.length budgeted)
+    else begin
+      Printf.printf "  budgets: FAIL (%d kernel%s over budget)\n" (List.length bad)
+        (if List.length bad = 1 then "" else "s");
+      exit 4
+    end
+  end;
   (* Anchor the attack-cost table with the measured behavioural-sim
      trial time: even a simulator millions of times faster than the
      paper's 20-minute transistor-level runs leaves brute force

@@ -473,7 +473,14 @@ let () =
   in
   (* ~catch:false so a cancellation that no supervised layer converted
      to data surfaces here instead of as a cmdliner backtrace. *)
-  try exit_with (Cmd.eval ~catch:false (Cmd.group info commands))
+  try
+    let status = Cmd.eval ~catch:false (Cmd.group info commands) in
+    (* cmdliner reports parse errors with its cli_error status, 124 —
+       the same value timeout(1) uses for a killed process, so a
+       wrapped `repro nosuchcmd` reads as "timed out / never exited"
+       (one such misreading is on record in ROADMAP).  Remap to 2,
+       matching repro's own usage-error exits. *)
+    exit_with (if status = Cmd.Exit.cli_error then 2 else status)
   with Telemetry.Cancel.Cancelled reason ->
     Printf.eprintf "\ninterrupted: %s\n" reason;
     exit_with (if reason = Telemetry.Cancel.deadline_reason then 3 else 130)

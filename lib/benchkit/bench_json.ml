@@ -296,10 +296,57 @@ let noisy_kernels =
    algorithmic change, not the environment — is actionable. *)
 let io_kernels = [ "engine:checkpoint-record" ]
 
+(* Arena-converted kernels: the workspace refactor (DESIGN §15) made
+   these allocate only their returned result records, so the 128-word
+   quota slack — sized for kernels whose fixed per-sample allocations
+   amortise differently at the fast quota — is more headroom than they
+   need.  Keep them on half of it so a stage that quietly falls back
+   to an allocating path cannot hide inside the slack. *)
+let arena_kernels =
+  [
+    "engine:cache-miss";
+    "engine:batch8-1domain";
+    "engine:batch8-2domains";
+    "engine:batch8-4domains";
+    "engine:batch8-8domains";
+    "engine:stream-grid";
+    "faults:campaign-cell";
+    "fig7:snr-mod-per-key";
+    "fig9:snr-rx-per-key";
+    "fig10:psd-estimate";
+    "fig11:sweep-point";
+    "fig12:two-tone-sfdr";
+    "security:attack-trial";
+    "compare:baseline-probes";
+    "lot:die-calibration";
+  ]
+
 let tolerance_for name =
   if List.mem name io_kernels then { default_tolerance with ns_ratio = 20.0 }
   else if List.mem name noisy_kernels then { default_tolerance with ns_ratio = 3.0 }
+  else if List.mem name arena_kernels then { default_tolerance with mwd_slack = 64.0 }
   else default_tolerance
+
+(* Absolute minor-words budgets for the converted kernels — the
+   alloc-smoke contract.  Unlike the ratio gate these do not need a
+   baseline file: they are the allocation model itself (result record
+   + per-eval bookkeeping, no full-record scratch arrays), with ~4x
+   headroom over measured values so a different machine or bechamel
+   quota cannot trip them, while any reintroduced per-stage copy of
+   even one 9216-sample record (+18k words minimum) fails outright. *)
+let alloc_budgets =
+  [
+    ("engine:cache-miss", 30_000.0);
+    ("engine:batch8-1domain", 340_000.0);
+    ("engine:batch8-2domains", 340_000.0);
+    ("engine:batch8-4domains", 340_000.0);
+    ("engine:batch8-8domains", 340_000.0);
+    ("engine:stream-grid", 340_000.0);
+    ("faults:campaign-cell", 80_000.0);
+    ("fig7:snr-mod-per-key", 24_000.0);
+  ]
+
+let budget_for name = List.assoc_opt name alloc_budgets
 
 type verdict =
   | Pass
@@ -350,6 +397,25 @@ let compare_results ~baseline ~current ~require_all =
         in
         Some { kernel = b.name; verdict })
     (List.sort (fun a b -> String.compare a.name b.name) baseline)
+
+let check_budgets current =
+  List.filter_map
+    (fun (name, budget) ->
+      match List.find_opt (fun k -> k.name = name) current with
+      | None -> None  (* --only runs check whatever subset they measured *)
+      | Some c when Float.is_finite c.minor_words_per_run ->
+        if c.minor_words_per_run > budget then
+          Some
+            {
+              kernel = name;
+              verdict =
+                Regressed
+                  { field = "minor_words_budget"; baseline = budget;
+                    current = c.minor_words_per_run; limit = budget };
+            }
+        else Some { kernel = name; verdict = Pass }
+      | Some _ -> None)
+    alloc_budgets
 
 let regressions comparisons =
   List.filter (fun c -> c.verdict <> Pass) comparisons

@@ -42,7 +42,12 @@ val default_tolerance : tolerance
 val tolerance_for : string -> tolerance
 (** Per-kernel tolerance: sub-microsecond kernels get a wider
     [ns_ratio]; fsync-bound kernels (disk-latency-dominated) only
-    fail on an order-of-magnitude blowup. *)
+    fail on an order-of-magnitude blowup; arena-converted kernels
+    (DESIGN §15) keep half the allocation slack. *)
+
+val budget_for : string -> float option
+(** Absolute minor-words-per-run budget for an arena-converted kernel
+    (the [make alloc-smoke] contract), if it has one. *)
 
 type verdict =
   | Pass
@@ -68,5 +73,10 @@ val compare_results :
 
 val regressions : comparison list -> comparison list
 (** The non-[Pass] subset. *)
+
+val check_budgets : kernel list -> comparison list
+(** Baseline-free absolute gate: one comparison per budgeted kernel
+    present in the run, [Regressed] (field ["minor_words_budget"])
+    when it allocates past its budget.  Drives [make alloc-smoke]. *)
 
 val verdict_to_string : comparison -> string

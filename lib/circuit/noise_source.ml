@@ -8,14 +8,16 @@ let create chip ~name ~sigma = { rng = Process.noise_stream chip ~name; sigma }
 let boltzmann = 1.380649e-23
 let temperature_kelvin = 290.0
 
-let of_noise_figure chip ~name ~nf_db ~fs =
-  (* Available noise power kTB over the Nyquist band, degraded by NF;
-     v_rms = sqrt(P * 2R) for power P delivered into R (peak-equivalent
-     sigma of the sampled process). *)
+(* Available noise power kTB over the Nyquist band, degraded by NF;
+   v_rms = sqrt(P * 2R) for power P delivered into R (peak-equivalent
+   sigma of the sampled process). *)
+let sigma_of_noise_figure ~nf_db ~fs =
   let bandwidth = fs /. 2.0 in
   let power = boltzmann *. temperature_kelvin *. bandwidth *. Sigkit.Decibel.power_ratio_of_db nf_db in
-  let sigma = sqrt (power *. Sigkit.Decibel.reference_ohms) in
-  create chip ~name ~sigma
+  sqrt (power *. Sigkit.Decibel.reference_ohms)
+
+let of_noise_figure chip ~name ~nf_db ~fs =
+  create chip ~name ~sigma:(sigma_of_noise_figure ~nf_db ~fs)
 
 let sample t = t.sigma *. Sigkit.Rng.gaussian t.rng
 let run t n = Array.init n (fun _ -> sample t)

@@ -15,6 +15,11 @@ val of_noise_figure : Process.chip -> name:string -> nf_db:float -> fs:float -> 
     [fs/2], degraded by NF, converted to a per-sample voltage sigma into
     50 ohm. *)
 
+val sigma_of_noise_figure : nf_db:float -> fs:float -> float
+(** The per-sample sigma {!of_noise_figure} would use — pure, so hot
+    paths can compute it once per (stage, code) and batch-draw the
+    stream themselves with {!Sigkit.Rng.gaussian_fill}. *)
+
 val sample : t -> float
 val run : t -> int -> float array
 val sigma : t -> float

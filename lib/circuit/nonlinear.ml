@@ -23,3 +23,4 @@ let apply t x =
 
 let run t input = Array.map (apply t) input
 let a3 t = t.a3
+let coefficients t = (t.a1, t.a2, t.a3, t.rail)

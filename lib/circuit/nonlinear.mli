@@ -23,3 +23,9 @@ val run : t -> float array -> float array
 
 val a3 : t -> float
 (** The derived cubic coefficient (for tests). *)
+
+val coefficients : t -> float * float * float * float
+(** [(a1, a2, a3, rail)] — the exact polynomial and rail used by
+    {!apply}.  Zero-allocation hot loops replicate {!apply}'s expression
+    locally from these so per-sample results stay bit-identical without
+    a boxed cross-module call per sample. *)

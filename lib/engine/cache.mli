@@ -6,7 +6,16 @@
     accounting identical to a cold run.  Telemetry counters
     [engine.cache.hit] / [engine.cache.miss] / [engine.cache.evict]
     track behaviour.  Single-domain: only the main domain touches the
-    cache (workers receive pre-missed work). *)
+    cache (workers receive pre-missed work).
+
+    Policy evidence for the ROADMAP's LRU-vs-generation-clock question:
+    [engine.cache.hit_at_capacity] counts hits that land while the
+    cache is full (the hits a coarser policy could lose), and the
+    [engine.cache.evict_age] histogram records how many cache
+    operations each evicted entry had gone untouched — mass near the
+    capacity mark means pure scan traffic, a long tail means LRU is
+    protecting genuinely re-used entries.  Both advance on a
+    deterministic operation clock, never wall time. *)
 
 type value = {
   measurement : Metrics.Spec.measurement;

@@ -33,9 +33,27 @@ val eval : t -> key:bool array -> bool array -> bool array
 (** [eval t ~key inputs] computes the primary outputs.  Raises
     [Invalid_argument] on arity mismatches. *)
 
+type scratch
+(** Reusable evaluation buffers for one circuit shape (sized by
+    [n_nets]).  Attack and corruption loops evaluate the same netlist
+    10^4–10^6 times; hoisting the scratch out of the loop makes each
+    evaluation allocation-free (DESIGN §15). *)
+
+val scratch : t -> scratch
+
+val eval_into : t -> scratch -> key:bool array -> bool array -> bool array -> unit
+(** [eval_into t sc ~key inputs out] is [eval] into caller-provided
+    [out] (length = number of primary outputs) using [sc] for net
+    values.  A scratch built for a different [n_nets] is rejected.
+    Bit-identical to [eval]. *)
+
 val validate : t -> (unit, string) result
 (** Structural checks: net ranges, topological order, output defined. *)
 
 val gate_count : t -> int
 
 val random_inputs : Sigkit.Rng.t -> t -> bool array
+
+val random_inputs_into : Sigkit.Rng.t -> t -> bool array -> unit
+(** Fill a caller-provided primary-input vector (same draw sequence
+    as {!random_inputs}). *)

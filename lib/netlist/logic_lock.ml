@@ -83,10 +83,17 @@ let lock rng (original : Gate.t) ~key_bits =
 let corruption ?(samples = 256) ?(seed = 7) locked ~key =
   let rng = Sigkit.Rng.create seed in
   let mismatches = ref 0 in
+  (* Hoisted once per probe, not per sample: the probe loop is the
+     compare-table hot path (32 keys x 256 samples x 2 netlists). *)
+  let sc_ref = Gate.scratch locked.original and sc_cand = Gate.scratch locked.circuit in
+  let inputs = Array.make locked.original.Gate.n_inputs false in
+  let n_out = List.length locked.original.Gate.outputs in
+  let reference = Array.make n_out false in
+  let candidate = Array.make (List.length locked.circuit.Gate.outputs) false in
   for _ = 1 to samples do
-    let inputs = Gate.random_inputs rng locked.original in
-    let reference = Gate.eval locked.original ~key:[||] inputs in
-    let candidate = Gate.eval locked.circuit ~key inputs in
+    Gate.random_inputs_into rng locked.original inputs;
+    Gate.eval_into locked.original sc_ref ~key:[||] inputs reference;
+    Gate.eval_into locked.circuit sc_cand ~key inputs candidate;
     if reference <> candidate then incr mismatches
   done;
   float_of_int !mismatches /. float_of_int samples
@@ -94,6 +101,10 @@ let corruption ?(samples = 256) ?(seed = 7) locked ~key =
 let oracle_attack ?(samples_per_key = 32) ?(budget = 100_000) ~seed locked =
   let rng = Sigkit.Rng.create seed in
   let key_bits = locked.circuit.Gate.n_key_inputs in
+  let sc_ref = Gate.scratch locked.original and sc_cand = Gate.scratch locked.circuit in
+  let inputs = Array.make locked.original.Gate.n_inputs false in
+  let oracle = Array.make (List.length locked.original.Gate.outputs) false in
+  let candidate = Array.make (List.length locked.circuit.Gate.outputs) false in
   let rec search trial =
     if trial > budget then `Exhausted budget
     else begin
@@ -102,9 +113,10 @@ let oracle_attack ?(samples_per_key = 32) ?(budget = 100_000) ~seed locked =
       let ok = ref true in
       (try
          for _ = 1 to samples_per_key do
-           let inputs = Gate.random_inputs probe locked.original in
-           let oracle = Gate.eval locked.original ~key:[||] inputs in
-           if Gate.eval locked.circuit ~key inputs <> oracle then raise Exit
+           Gate.random_inputs_into probe locked.original inputs;
+           Gate.eval_into locked.original sc_ref ~key:[||] inputs oracle;
+           Gate.eval_into locked.circuit sc_cand ~key inputs candidate;
+           if candidate <> oracle then raise Exit
          done
        with Exit -> ok := false);
       if !ok then `Found (key, trial) else search (trial + 1)

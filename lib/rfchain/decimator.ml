@@ -13,14 +13,22 @@ let ratio c = 16 lsl c.ratio_select
 
 let cic_order = 3
 
+(* Workspace slot for the CIC intermediate (see DESIGN §15).  The two
+   quadrature channels run sequentially, so one slot serves both. *)
+let cic_slot = 12
+
 (* CIC decimator: [order] integrators at the input rate, decimation by
-   [r], [order] combs at the output rate, gain-normalised. *)
+   [r], [order] combs at the output rate, gain-normalised.  The result
+   is a workspace scratch array — valid only until the next decimation
+   on this domain; callers must consume it before then (the comb pass
+   overwrites every cell before any is read, so stale contents are
+   fine). *)
 let cic ~r x =
   let n_out = Array.length x / r in
   if n_out = 0 then [||]
   else begin
     let acc = Array.make cic_order 0.0 in
-    let decimated = Array.make n_out 0.0 in
+    let decimated = Sigkit.Workspace.arr (Sigkit.Workspace.get ()) ~slot:cic_slot ~len:n_out in
     let out_idx = ref 0 in
     for i = 0 to (n_out * r) - 1 do
       acc.(0) <- acc.(0) +. x.(i);

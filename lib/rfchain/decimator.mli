@@ -25,7 +25,10 @@ val decimate : config -> float array -> float array
 (** Decimate one real channel: a CIC stage by [ratio/2] followed by a
     half-band FIR 2x stage (or a crude averaging stage when the
     compensator bit is off).  Output is gain-normalised (unity DC
-    gain) with length [floor (n / ratio)]. *)
+    gain) with length [floor (n / ratio)].  The CIC intermediate lives
+    in {!Sigkit.Workspace} slot 12; only the returned array is
+    allocated.  The input may itself be a workspace buffer as long as
+    it does not use slot 12. *)
 
 val run_iq : config -> float array * float array -> float array * float array
 (** Decimate both quadrature channels with identical filters. *)

@@ -7,4 +7,20 @@
 
 val downconvert : float array -> float array * float array
 (** [downconvert x] returns the (i, q) baseband pair at the input rate
-    (quadrature components of [x] mixed down by fs/4). *)
+    (quadrature components of [x] mixed down by fs/4).  Thin allocating
+    wrapper over {!downconvert_into}. *)
+
+val downconvert_into :
+  ?slice:bool ->
+  float array ->
+  pos:int ->
+  n:int ->
+  i_out:float array ->
+  q_out:float array ->
+  unit
+(** Arena variant: mix the [n]-sample window of [src] starting at [pos]
+    down into [i_out]/[q_out] (each at least [n] long; every cell in
+    [0, n) is overwritten).  [slice] (default false) applies the digital
+    section's 1-bit boundary to each sample first — fusing the
+    [Receiver.slice_to_bit] copy into the mix.  Neither output may alias
+    [src].  Bit-identical to slicing then {!downconvert}. *)

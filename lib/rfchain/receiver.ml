@@ -40,29 +40,46 @@ let sdm_of_config t config = Sdm.create t.chip ~fs:(fs t) (applied_config t conf
 let runs = Telemetry.Counter.make "receiver.runs"
 let samples = Telemetry.Counter.make "receiver.samples"
 
+(* Workspace slots of the evaluation chain (see DESIGN §15 for the full
+   map and aliasing argument).  Every slot is dead again by the time
+   [run] returns: the only arrays that escape are the freshly allocated
+   result fields. *)
+let extended_slot = 6
+let mod_slot = 7
+let mix_i_slot = 10
+let mix_q_slot = 11
+
 let run t ~analog ?(digital = Decimator.default_config) ?(settle = 1024) ?(slice = true) ~input () =
   Telemetry.Counter.incr runs;
   Telemetry.Counter.add samples (Array.length input);
   Telemetry.Span.with_ ~name:"receiver.run" (fun () ->
   let analog = applied_config t analog in
   let n = Array.length input in
+  let total = settle + n in
+  let ws = Sigkit.Workspace.get () in
   (* Prepend the settle prefix by repeating the record head: for
-     periodic test tones this keeps the steady-state phase coherent. *)
-  let extended = Array.make (settle + n) 0.0 in
-  for i = 0 to settle + n - 1 do
+     periodic test tones this keeps the steady-state phase coherent.
+     Every cell of the scratch buffer is overwritten here. *)
+  let extended = Sigkit.Workspace.arr ws ~slot:extended_slot ~len:total in
+  for i = 0 to total - 1 do
     extended.(i) <- input.((i + n - (settle mod n)) mod n)
   done;
+  (* The fault hook may return its argument or a fresh array; it must
+     not retain the scratch buffer it was handed (inject.ml's hooks
+     map into fresh arrays). *)
   let extended =
     match t.rf_fault with
     | None -> extended
     | Some f -> f extended
   in
-  let amplified = Vglna.run t.vglna ~code:analog.Config.vglna_gain extended in
+  Vglna.run_inplace t.vglna ~code:analog.Config.vglna_gain extended;
   let sdm = Sdm.create t.chip ~fs:(fs t) analog in
-  let mod_full = Sdm.run sdm amplified in
+  let mod_full = Sigkit.Workspace.arr ws ~slot:mod_slot ~len:total in
+  Sdm.run_into sdm extended mod_full;
   let mod_output = Array.sub mod_full settle n in
-  let bits = if slice then slice_to_bit mod_output else mod_output in
-  let i_ch, q_ch = Mixer.downconvert bits in
+  let i_ch = Sigkit.Workspace.arr ws ~slot:mix_i_slot ~len:n in
+  let q_ch = Sigkit.Workspace.arr ws ~slot:mix_q_slot ~len:n in
+  Mixer.downconvert_into ~slice mod_full ~pos:settle ~n ~i_out:i_ch ~q_out:q_ch;
   let baseband_i, baseband_q = Decimator.run_iq digital (i_ch, q_ch) in
   {
     mod_output;

@@ -181,7 +181,12 @@ let run_fused t ~n ~comp_noise_sigma ~d_int ~d_frac ~comp_buf ~input_buf input o
   let preamp = t.preamp_gain in
   let offset = t.comp_offset and hyst = t.comp_hysteresis in
   let gdac = t.gdac and mismatch = t.dac_mismatch in
-  let gmin = t.gmin and gmin_stage = t.gmin_stage in
+  let gmin = t.gmin in
+  (* Input transconductor nonlinearity, inlined from Nonlinear.apply
+     (same expression, so bit-identical) to keep the per-sample result
+     unboxed. *)
+  let g_a1, g_a2, g_a3, g_rail = Circuit.Nonlinear.coefficients t.gmin_stage in
+  let g_railed = Float.is_finite g_rail in
   let in_sigma = t.input_noise_sigma in
   let fa = 1.0 -. d_frac in
   let hist = Array.make hist_len 0.0 in
@@ -225,16 +230,19 @@ let run_fused t ~n ~comp_noise_sigma ~d_int ~d_frac ~comp_buf ~input_buf input o
     in
     let fb = gdac *. (v_delayed +. mismatch) in
     let u =
-      (gmin *. Circuit.Nonlinear.apply gmin_stage (Array.unsafe_get input i))
-      +. (in_sigma *. Array.unsafe_get input_buf i)
+      let x = Array.unsafe_get input i in
+      let y = (g_a1 *. x) +. (g_a2 *. x *. x) +. (g_a3 *. x *. x *. x) in
+      let y = if g_railed then g_rail *. tanh (y /. g_rail) else y in
+      (gmin *. y) +. (in_sigma *. Array.unsafe_get input_buf i)
     in
     r1x1 := u -. (k1 *. fb);
     r2x1 := w1 -. (k2 *. fb);
     Array.unsafe_set output i v
   done
 
-let run t input =
+let run_into t input output =
   let n = Array.length input in
+  if Array.length output < n then invalid_arg "Sdm.run_into: output shorter than input";
   Telemetry.Counter.incr runs;
   Telemetry.Counter.add steps n;
   Telemetry.Span.with_ ~name:"sdm.run" (fun () ->
@@ -248,7 +256,6 @@ let run t input =
   let input_noise = Circuit.Process.noise_stream t.chip ~name:"run.input" in
   let d_int = min (hist_len - 2) (int_of_float (Float.floor t.delay_samples)) in
   let d_frac = t.delay_samples -. float_of_int d_int in
-  let output = Array.make n 0.0 in
   let fused =
     cfg.comp_clock_enable && cfg.fb_enable && cfg.gmin_enable
     && (not cfg.cal_buffer_enable) && comp_noise_sigma > 0.0
@@ -330,5 +337,9 @@ let run t input =
         (if cfg.cal_buffer_enable then 1.2 *. tanh (t.buffer_gain *. v_sampled /. 1.2)
          else v_sampled)
     done
-  end;
-  output)
+  end)
+
+let run t input =
+  let output = Array.make (Array.length input) 0.0 in
+  run_into t input output;
+  output

@@ -33,7 +33,16 @@ val create : Circuit.Process.chip -> fs:float -> Config.t -> t
 val run : t -> float array -> float array
 (** Simulate sample by sample.  Input is the (post-VGLNA) analog record;
     output is the modulator output: a +-1 bitstream when the comparator
-    is clocked, an analog waveform when it is in buffer mode. *)
+    is clocked, an analog waveform when it is in buffer mode.  Thin
+    allocating wrapper over {!run_into}. *)
+
+val run_into : t -> float array -> float array -> unit
+(** [run_into t input output] writes the modulator output for [input]
+    into the first [Array.length input] cells of [output] (which must be
+    at least that long; every cell in that range is overwritten, so a
+    stale scratch buffer is fine).  [output] must not alias [input].
+    Uses {!Sigkit.Workspace} slots 8-9 for the per-run noise batches;
+    bit-identical to {!run}. *)
 
 val tank_frequency : t -> float
 (** True resonance frequency of the (first) tank under this die and

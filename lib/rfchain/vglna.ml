@@ -1,7 +1,20 @@
+(* Per-code hot-path setup, derived once from the chip's (pure) process
+   draws on first use: the amplifier's polynomial, the noise stream's
+   name and per-sample sigma.  Memoising is bit-identical because every
+   Process draw is a pure function of (chip, name), and it hoists the
+   Printf name construction, the Nonlinear/Noise_source setup and their
+   process draws out of every run. *)
+type setup = {
+  stage : Circuit.Nonlinear.t;
+  noise_name : string;
+  noise_sigma : float;
+}
+
 type t = {
   chip : Circuit.Process.chip;
   fs : float;
   gain_error_db : float array;   (** per-code realised-gain deviation *)
+  setups : setup option array;   (* per-code, lazily memoised *)
 }
 
 let levels = 16
@@ -12,7 +25,7 @@ let create chip ~fs =
   let gain_error code =
     Circuit.Process.offset chip ~name:(Printf.sprintf "vglna.gain%d" code) ~sigma:0.4
   in
-  { chip; fs; gain_error_db = Array.init levels gain_error }
+  { chip; fs; gain_error_db = Array.init levels gain_error; setups = Array.make levels None }
 
 let check_code code =
   if code < 0 || code >= levels then invalid_arg "Vglna: gain code out of range"
@@ -44,14 +57,48 @@ let iip3_dbm t ~code =
   let nominal = -10.0 +. (float_of_int (levels - 1 - code) *. 1.2) in
   nominal +. Circuit.Process.offset t.chip ~name:(Printf.sprintf "vglna.iip3%d" code) ~sigma:0.5
 
-let run t ~code input =
+let setup t ~code =
+  match t.setups.(code) with
+  | Some s -> s
+  | None ->
+    let gain = Sigkit.Decibel.power_ratio_of_db (gain_db t ~code /. 2.0) in
+    (* power_ratio_of_db(g/2) = 10^(g/20): voltage gain. *)
+    let s =
+      {
+        stage = Circuit.Nonlinear.create ~gain ~iip3_dbm:(iip3_dbm t ~code) ~rail:1.4 ();
+        noise_name = Printf.sprintf "vglna.noise%d" code;
+        noise_sigma =
+          Circuit.Noise_source.sigma_of_noise_figure ~nf_db:(noise_figure_db t ~code) ~fs:t.fs;
+      }
+    in
+    t.setups.(code) <- Some s;
+    s
+
+(* Workspace slot for the batched noise draw (see DESIGN §15). *)
+let noise_slot = 13
+
+let run_inplace t ~code buf =
   check_code code;
-  let gain = Sigkit.Decibel.power_ratio_of_db (gain_db t ~code /. 2.0) in
-  (* power_ratio_of_db(g/2) = 10^(g/20): voltage gain. *)
-  let stage = Circuit.Nonlinear.create ~gain ~iip3_dbm:(iip3_dbm t ~code) ~rail:1.4 () in
-  let noise =
-    Circuit.Noise_source.of_noise_figure t.chip
-      ~name:(Printf.sprintf "vglna.noise%d" code)
-      ~nf_db:(noise_figure_db t ~code) ~fs:t.fs
-  in
-  Array.map (fun x -> Circuit.Nonlinear.apply stage (x +. Circuit.Noise_source.sample noise)) input
+  let s = setup t ~code in
+  let n = Array.length buf in
+  (* The noise stream is freshly split per run (as Noise_source.create
+     would), and gaussian_fill draws the same sequence as the per-sample
+     Noise_source.sample calls it replaces. *)
+  let stream = Circuit.Process.noise_stream t.chip ~name:s.noise_name in
+  let nbuf = Sigkit.Workspace.arr (Sigkit.Workspace.get ()) ~slot:noise_slot ~len:n in
+  Sigkit.Rng.gaussian_fill stream nbuf ~n;
+  let sigma = s.noise_sigma in
+  let a1, a2, a3, rail = Circuit.Nonlinear.coefficients s.stage in
+  let railed = Float.is_finite rail in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get buf i +. (sigma *. Array.unsafe_get nbuf i) in
+    (* Nonlinear.apply, replicated expression-for-expression so direct
+       float stores keep the loop unboxed. *)
+    let y = (a1 *. x) +. (a2 *. x *. x) +. (a3 *. x *. x *. x) in
+    Array.unsafe_set buf i (if railed then rail *. tanh (y /. rail) else y)
+  done
+
+let run t ~code input =
+  let out = Array.copy input in
+  run_inplace t ~code out;
+  out

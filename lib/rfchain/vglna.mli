@@ -33,4 +33,10 @@ val iip3_dbm : t -> code:int -> float
 val run : t -> code:int -> float array -> float array
 (** Amplify a record: adds input-referred thermal noise, applies the
     gain-dependent compressive nonlinearity.  Codes outside [0, 15] are
-    rejected with [Invalid_argument]. *)
+    rejected with [Invalid_argument].  Thin allocating wrapper over
+    {!run_inplace}. *)
+
+val run_inplace : t -> code:int -> float array -> unit
+(** Arena variant: amplify the record in place (the stage is pointwise,
+    so input and output share the buffer).  Uses {!Sigkit.Workspace}
+    slot 13 for the batched noise draw; bit-identical to {!run}. *)

@@ -1,6 +1,12 @@
 let tone ~amplitude ~freq ~fs ?(phase = 0.0) n =
   let w = 2.0 *. Float.pi *. freq /. fs in
-  Array.init n (fun i -> amplitude *. sin ((w *. float_of_int i) +. phase))
+  (* Explicit fill: Array.init would box every sample through the
+     closure, and test tones are synthesised once per evaluation. *)
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i (amplitude *. sin ((w *. float_of_int i) +. phase))
+  done;
+  out
 
 let tone_dbm ~p_dbm ~freq ~fs ?(phase = 0.0) n =
   tone ~amplitude:(Decibel.amplitude_of_dbm p_dbm) ~freq ~fs ~phase n

@@ -15,9 +15,13 @@
     Data returned to callers (e.g. [Spectrum.t.power]) must be copied
     out into fresh arrays.
 
-    Slot discipline (keeps concurrent users of one domain apart):
-    0-1 [Fft] convenience wrappers, 2-6 [Spectrum], 8-10 [Rfchain.Sdm],
-    11-14 free for callers, 15 tests. *)
+    Slot discipline (keeps concurrent users of one domain apart; the
+    full map and per-stage liveness argument are in DESIGN §15):
+    0-1 [Fft] convenience wrappers, 2-5 [Spectrum],
+    6-13 the [Rfchain] evaluation chain (6 settle-extended record,
+    7 modulator output, 8-9 [Sdm] noise batches, 10-11 mixer I/Q,
+    12 [Decimator] CIC intermediate, 13 [Vglna] noise batch),
+    14 free for callers, 15 tests. *)
 
 type t
 

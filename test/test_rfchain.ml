@@ -322,6 +322,132 @@ let test_decimator_all_ratios () =
       Alcotest.(check (float 1e-6)) "unity DC gain" 1.0 y.(32))
     [ 0; 1; 2; 3 ]
 
+(* ------------------------------------------------------ Workspace arena *)
+
+(* The allocating chain, composed from the public per-stage wrappers
+   exactly as [Receiver.run] was written before the arena refactor.
+   Comparing it against [Receiver.run] is both the bit-identity check
+   for every into-style variant and the aliasing guard: if two live
+   stages shared a workspace slot, the arena chain's output would
+   diverge from this one. *)
+let reference_chain rx ~analog ?(digital = Rfchain.Decimator.default_config) ?(settle = 1024)
+    ?(slice = true) ~input () =
+  let applied = Rfchain.Receiver.applied_config rx analog in
+  let n = Array.length input in
+  let extended = Array.make (settle + n) 0.0 in
+  for i = 0 to settle + n - 1 do
+    extended.(i) <- input.((i + n - (settle mod n)) mod n)
+  done;
+  let extended =
+    match Rfchain.Receiver.rf_fault rx with
+    | None -> extended
+    | Some f -> f extended
+  in
+  let vglna =
+    Rfchain.Vglna.create (Rfchain.Receiver.chip rx) ~fs:(Rfchain.Receiver.fs rx)
+  in
+  let amplified = Rfchain.Vglna.run vglna ~code:applied.Rfchain.Config.vglna_gain extended in
+  (* [sdm_of_config] applies the fabric hook itself, so pass the raw word. *)
+  let sdm = Rfchain.Receiver.sdm_of_config rx analog in
+  let mod_full = Rfchain.Sdm.run sdm amplified in
+  let mod_output = Array.sub mod_full settle n in
+  let bits = if slice then Rfchain.Receiver.slice_to_bit mod_output else mod_output in
+  let i_ch, q_ch = Rfchain.Mixer.downconvert bits in
+  let baseband_i, baseband_q = Rfchain.Decimator.run_iq digital (i_ch, q_ch) in
+  (mod_output, baseband_i, baseband_q)
+
+let arena_case_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 5000 in
+    let* coarse = int_range 0 255 in
+    let* gain = int_range 0 15 in
+    let* gm_q = int_range 0 40 in
+    let* slice = bool in
+    let* fault = int_range 0 2 in
+    return (seed, coarse, gain, gm_q, slice, fault))
+
+let prop_arena_chain_identity =
+  QCheck.Test.make ~name:"arena-backed Receiver.run equals the allocating stage chain"
+    ~count:12
+    (QCheck.make arena_case_gen ~print:(fun (s, c, g, q, sl, f) ->
+         Printf.sprintf "seed=%d coarse=%d gain=%d gm_q=%d slice=%b fault=%d" s c g q sl f))
+    (fun (seed, coarse, gain, gm_q, slice, fault) ->
+      let rf_fault input =
+        (* Deterministic burst-like perturbation, fresh output array —
+           the contract inject.ml's hooks follow. *)
+        Array.mapi (fun i x -> x +. (0.002 *. float_of_int (i land 7))) input
+      in
+      let fabric cfg =
+        Rfchain.Config.of_bits (Int64.logxor (Rfchain.Config.to_bits cfg) 0x110L)
+      in
+      let c = chip ~seed () in
+      let rx =
+        match fault with
+        | 0 -> Rfchain.Receiver.create c std
+        | 1 -> Rfchain.Receiver.create ~rf_fault c std
+        | _ -> Rfchain.Receiver.create ~fabric c std
+      in
+      let analog =
+        { Rfchain.Config.nominal with cap_coarse = coarse; vglna_gain = gain; gm_q }
+      in
+      let fs = Rfchain.Receiver.fs rx in
+      let n = 1024 and settle = 256 in
+      let input = Sigkit.Waveform.tone_dbm ~p_dbm:(-25.0) ~freq:3.02e9 ~fs n in
+      let res = Rfchain.Receiver.run rx ~analog ~settle ~slice ~input () in
+      let m, bi, bq = reference_chain rx ~analog ~settle ~slice ~input () in
+      res.Rfchain.Receiver.mod_output = m
+      && res.Rfchain.Receiver.baseband_i = bi
+      && res.Rfchain.Receiver.baseband_q = bq)
+
+let test_arena_slots_distinct () =
+  (* The chain's documented slot map (DESIGN §15): every stage that is
+     live at the same time must hold a physically distinct scratch
+     array, including the slots whose lengths coincide. *)
+  let n = 1024 and settle = 256 in
+  let total = settle + n in
+  let ws = Sigkit.Workspace.get () in
+  let live =
+    [
+      ("extended (6)", Sigkit.Workspace.arr ws ~slot:6 ~len:total);
+      ("mod_full (7)", Sigkit.Workspace.arr ws ~slot:7 ~len:total);
+      ("sdm comp noise (8)", Sigkit.Workspace.arr ws ~slot:8 ~len:total);
+      ("sdm input noise (9)", Sigkit.Workspace.arr ws ~slot:9 ~len:total);
+      ("mixer i (10)", Sigkit.Workspace.arr ws ~slot:10 ~len:n);
+      ("mixer q (11)", Sigkit.Workspace.arr ws ~slot:11 ~len:n);
+      ("vglna noise (13)", Sigkit.Workspace.arr ws ~slot:13 ~len:total);
+    ]
+  in
+  List.iteri
+    (fun i (ni, a) ->
+      List.iteri
+        (fun j (nj, b) ->
+          if i < j && a == b then Alcotest.failf "slots alias: %s and %s" ni nj)
+        live)
+    live
+
+let test_arena_reuse_across_evals () =
+  let rx = Rfchain.Receiver.create (chip ()) std in
+  let analog = Rfchain.Config.nominal in
+  let fs = Rfchain.Receiver.fs rx in
+  let input = Sigkit.Waveform.tone_dbm ~p_dbm:(-25.0) ~freq:3.02e9 ~fs 1024 in
+  let eval () = ignore (Rfchain.Receiver.run rx ~analog ~input ()) in
+  (* Two warm-up evals materialise every (slot, len) pair this chain
+     needs; after that the arena must stop growing. *)
+  eval ();
+  eval ();
+  let before = Sigkit.Workspace.allocations () in
+  for _ = 1 to 4 do
+    eval ()
+  done;
+  Alcotest.(check int) "no new scratch arrays across steady-state evals" before
+    (Sigkit.Workspace.allocations ());
+  (* And the steady-state eval must stay within the minor-words budget
+     the bench gate enforces (~10k today; generous headroom here). *)
+  let w0 = Gc.minor_words () in
+  eval ();
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 100_000.0 then Alcotest.failf "steady-state eval allocates %.0f minor words" dw
+
 (* ------------------------------------------------------------ Properties *)
 
 let prop_config_roundtrip =
@@ -402,5 +528,9 @@ let () =
           Alcotest.test_case "slicer" `Quick test_receiver_slice;
           Alcotest.test_case "deterministic" `Quick test_receiver_deterministic;
         ] );
+      ( "arena",
+        Alcotest.test_case "slot map is alias-free" `Quick test_arena_slots_distinct
+        :: Alcotest.test_case "scratch reuse across evals" `Quick test_arena_reuse_across_evals
+        :: qcheck [ prop_arena_chain_identity ] );
       ("properties", qcheck [ prop_config_roundtrip; prop_config_with_field; prop_mixer_energy ]);
     ]

@@ -405,6 +405,42 @@ let prop_rng_int_range_bounds =
       let v = Sigkit.Rng.int_range rng lo (lo + span) in
       v >= lo && v <= lo + span)
 
+(* The inlined gaussian_fill loop (unboxed bytes-cell state) must draw
+   exactly the sequence repeated [gaussian] calls produce, for every
+   parity of [n] and every spare-cache state at entry — and leave the
+   generator positioned so the streams stay identical afterwards. *)
+let prop_gaussian_fill_identity =
+  QCheck.Test.make ~name:"gaussian_fill = n x gaussian (any n, any spare state)" ~count:200
+    QCheck.(pair small_int (pair (int_range 0 65) (int_range 0 3)))
+    (fun (seed, (n, pre_draws)) ->
+      let a = Sigkit.Rng.create seed and b = Sigkit.Rng.create seed in
+      for _ = 1 to pre_draws do
+        ignore (Sigkit.Rng.gaussian a);
+        ignore (Sigkit.Rng.gaussian b)
+      done;
+      let buf = Array.make (max 1 n) 0.0 in
+      Sigkit.Rng.gaussian_fill a buf ~n;
+      let same = ref true in
+      for i = 0 to n - 1 do
+        if buf.(i) <> Sigkit.Rng.gaussian b then same := false
+      done;
+      (* Continuation: the spare hand-off at the end of the fill. *)
+      for _ = 1 to 3 do
+        if Sigkit.Rng.gaussian a <> Sigkit.Rng.gaussian b then same := false
+      done;
+      !same)
+
+let test_gaussian_fill_no_alloc () =
+  let rng = Sigkit.Rng.create 7 in
+  let buf = Array.make 512 0.0 in
+  Sigkit.Rng.gaussian_fill rng buf ~n:512;
+  let w0 = Gc.minor_words () in
+  Sigkit.Rng.gaussian_fill rng buf ~n:512;
+  let dw = Gc.minor_words () -. w0 in
+  (* The whole point of the bytes-cell state: a batch draw allocates
+     nothing (small slack for the Gc.minor_words probe itself). *)
+  if dw > 64.0 then Alcotest.failf "gaussian_fill allocated %.0f minor words" dw
+
 let prop_window_bounded =
   QCheck.Test.make ~name:"window coefficients bounded" ~count:50
     QCheck.(int_range 4 512)
@@ -429,6 +465,7 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "gaussian golden stream" `Quick test_rng_gaussian_golden;
+          Alcotest.test_case "gaussian_fill alloc-free" `Quick test_gaussian_fill_no_alloc;
           Alcotest.test_case "int range" `Quick test_rng_int_range;
         ] );
       ( "decibel",
@@ -474,5 +511,6 @@ let () =
       ( "properties",
         qcheck
           [ prop_fft_linearity; prop_real_fft_matches_reference; prop_db_monotonic;
-            prop_rng_int_range_bounds; prop_window_bounded ] );
+            prop_rng_int_range_bounds; prop_window_bounded;
+            prop_gaussian_fill_identity ] );
     ]
